@@ -1,0 +1,89 @@
+"""E5 — ontological reasoning under the WFS with the UNA (Example 2 at scale).
+
+Two ontology workloads:
+
+* the employment ontology of Example 2, scaled in the number of persons; the
+  experiment checks the paper's qualitative claim (every employed person's
+  employee ID is derived to be a *valid* ID, which needs the UNA) and
+  measures reasoning time;
+* a LUBM-flavoured university ontology with existential axioms, an inverse
+  role and default negation, where the stratified baseline is applicable, so
+  the table also compares WFS vs stratified cost on ontologies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dl.reasoner import OntologyReasoner
+from repro.core.stratified import StratifiedDatalogPM
+from repro.bench.generators import employment_ontology, university_ontology
+from repro.bench.harness import ResultTable, time_call
+
+PERSON_COUNTS = [20, 60, 120]
+UNIVERSITY_SIZES = [(2, 10), (4, 20), (8, 30)]
+
+
+def employment_reasoner(num_persons: int) -> OntologyReasoner:
+    return OntologyReasoner(employment_ontology(num_persons, seed=43))
+
+
+def count_valid_ids(reasoner: OntologyReasoner) -> int:
+    model = reasoner.model()
+    return sum(1 for atom in model.true_atoms() if atom.predicate == "validID")
+
+
+@pytest.mark.experiment("E5")
+@pytest.mark.parametrize("num_persons", PERSON_COUNTS)
+def test_employment_ontology_reasoning(benchmark, num_persons):
+    """Classify the employment ontology and count derived valid IDs."""
+    valid = benchmark.pedantic(
+        lambda: count_valid_ids(employment_reasoner(num_persons)),
+        rounds=2,
+        iterations=1,
+    )
+    # Every employed person has an employee ID whose validity needs the UNA.
+    assert valid > 0
+
+
+@pytest.mark.experiment("E5")
+@pytest.mark.parametrize("departments,students", UNIVERSITY_SIZES)
+def test_university_ontology_reasoning(benchmark, departments, students):
+    """Well-founded reasoning over the university ontology."""
+    def run():
+        reasoner = OntologyReasoner(university_ontology(departments, students, seed=47))
+        model = reasoner.model()
+        return sum(1 for atom in model.true_atoms() if atom.predicate == "needsAdvisor")
+
+    needing_advisor = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert needing_advisor >= 0
+
+
+def report() -> None:
+    """Print the E5 tables."""
+    table = ResultTable(
+        "E5a — Example 2 employment ontology under WFS + UNA",
+        ["persons", "valid IDs derived", "seconds"],
+    )
+    for count in PERSON_COUNTS:
+        seconds = time_call(lambda c=count: count_valid_ids(employment_reasoner(c)), repeats=2)
+        table.add_row(count, count_valid_ids(employment_reasoner(count)), seconds)
+    table.print()
+
+    table = ResultTable(
+        "E5b — university ontology: WFS engine vs stratified baseline",
+        ["departments", "students/dept", "WFS (s)", "stratified (s)"],
+    )
+    for departments, students in UNIVERSITY_SIZES:
+        ontology = university_ontology(departments, students, seed=47)
+        reasoner = OntologyReasoner(ontology)
+        wfs_seconds = time_call(lambda r=reasoner: OntologyReasoner(ontology).model(), repeats=2)
+        stratified_seconds = time_call(
+            lambda r=reasoner: StratifiedDatalogPM(r.program, r.database).model(), repeats=2
+        )
+        table.add_row(departments, students, wfs_seconds, stratified_seconds)
+    table.print()
+
+
+if __name__ == "__main__":
+    report()

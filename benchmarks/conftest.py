@@ -1,0 +1,22 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark module reproduces one experiment of DESIGN.md (E1–E7).  The
+modules are ordinary pytest files using the ``benchmark`` fixture of
+pytest-benchmark; run them with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module can also be executed directly (``python benchmarks/bench_xxx.py``)
+to print the full result table of its experiment, including derived numbers
+such as the empirical scaling exponent; those tables are what EXPERIMENTS.md
+records.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # Group benchmarks by their experiment for a readable report.
+    config.addinivalue_line("markers", "experiment(id): the DESIGN.md experiment an item belongs to")

@@ -1,0 +1,67 @@
+"""The paper's running example (Examples 4, 6 and 9), end to end.
+
+This script reproduces, step by step, what Sections 3 and 4 of the paper do
+with their running example:
+
+1. build the guarded chase forest F+(P) of the Skolemised program,
+2. inspect forward proofs and their negative hypotheses (Example 6),
+3. compute the well-founded model and check the literals the paper derives
+   (Example 4 and Example 9 — including T(0), which on the infinite forest
+   only appears after transfinitely many Ŵ_P iterations),
+4. re-verify literals with the WCHECK-style path criterion of Section 4.
+
+Run with::
+
+    python examples/paper_example.py
+"""
+
+from __future__ import annotations
+
+from repro import WellFoundedEngine
+from repro.core import find_forward_proof, path_witness, wcheck_literal
+from repro.lang import parse_atom
+from repro.lang.atoms import Literal
+from repro.bench.generators import paper_example_program
+
+
+def main() -> None:
+    program, database = paper_example_program()
+    print("Sigma (guarded normal Datalog± program):")
+    for ntgd in program:
+        print("  ", ntgd)
+    print("Database D:", database)
+
+    engine = WellFoundedEngine(program, database)
+    model = engine.model()
+    forest = engine.chase_forest()
+
+    print(f"\nChase segment: {len(forest)} nodes, max depth {forest.max_depth()}, "
+          f"stabilised at depth {model.depth} (converged={model.converged}).")
+
+    print("\nForward proofs (Example 6):")
+    p01 = parse_atom("p(0, 1)")
+    proof = find_forward_proof(forest, p01)
+    print(f"  forward proof of {p01}: {proof.size()} nodes, "
+          f"negative hypotheses {{{', '.join(sorted(str(a) for a in proof.negative_hypotheses))}}}")
+
+    print("\nLiterals of WFS(D, Sigma) highlighted by the paper (Examples 4 and 9):")
+    for text in ("p(0,0)", "p(0,1)", "q(1)", "s(0)", "t(0)"):
+        atom = parse_atom(text)
+        print(f"  {text:10s} -> {model.value(atom)}")
+
+    print("\nWCHECK-style verification (Section 4):")
+    print("  path witness for t(0):",
+          " -> ".join(str(a) for a in path_witness(model, parse_atom("t(0)"))))
+    print("  every path to s(0) blocked:",
+          wcheck_literal(model, Literal(parse_atom("s(0)"), False)))
+
+    print("\nNBCQ answering (Theorem 14):")
+    for query in ("? t(X), not s(X)", "? p(0, Y), not q(Y)", "? q(1)"):
+        print(f"  {query:24s} -> {engine.holds(query)}")
+
+    print("\nTheoretical locality bound of Prop. 12 (never needed in practice):")
+    print(f"  delta = {engine.delta():.3e}  vs  depth actually used = {model.depth}")
+
+
+if __name__ == "__main__":
+    main()

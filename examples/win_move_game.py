@@ -1,0 +1,87 @@
+"""The win/move game: the textbook use-case of the well-founded semantics.
+
+A position X is won if there is a move to a position that is *not* won:
+
+    win(X) <- move(X, Y), not win(Y)
+
+The rule is unstratified, so neither plain Datalog nor stratified Datalog±
+can express it; under the WFS, positions are classified as won (true), lost
+(false) or drawn (undefined).  The script analyses a small hand-made game and
+a random game, once with the classical LP substrate (Sec. 2.6 of the paper)
+and once with the guarded Datalog± engine (the paper's contribution), and
+checks that the two agree — the WFS for Datalog± conservatively extends the
+classical WFS.
+
+Run with::
+
+    python examples/win_move_game.py
+"""
+
+from __future__ import annotations
+
+from repro import WellFoundedEngine, parse_normal_program, relevant_grounding, well_founded_model
+from repro.lang import parse_atom
+from repro.bench.generators import win_move_datalog_pm, win_move_game
+
+HAND_MADE = """
+% a -> b -> a is a cycle; b can also escape to c; c moves to the dead end d.
+move(a, b). move(b, a). move(b, c). move(c, d).
+move(X, Y), not win(Y) -> win(X).
+"""
+
+
+def classify(model, positions):
+    rows = []
+    for name in positions:
+        atom = parse_atom(f"win({name})")
+        if model.is_true(atom):
+            rows.append((name, "won"))
+        elif model.is_false(atom):
+            rows.append((name, "lost"))
+        else:
+            rows.append((name, "drawn (undefined)"))
+    return rows
+
+
+def main() -> None:
+    print("Hand-made game (classical LP well-founded semantics):")
+    lp_model = well_founded_model(relevant_grounding(parse_normal_program(HAND_MADE)))
+    for name, status in classify(lp_model, "abcd"):
+        print(f"  position {name}: {status}")
+
+    print("\nSame game through the guarded Datalog± WFS engine:")
+    engine = WellFoundedEngine(HAND_MADE)
+    for name, status in classify(engine.model(), "abcd"):
+        print(f"  position {name}: {status}")
+
+    print("\nRandom game with 40 positions — LP substrate vs Datalog± engine:")
+    size, seed = 40, 7
+    lp_random = well_founded_model(relevant_grounding(win_move_game(size, seed=seed)))
+    program, database = win_move_datalog_pm(size, seed=seed)
+    dpm_random = WellFoundedEngine(program, database).model()
+
+    counts = {"won": 0, "lost": 0, "drawn": 0}
+    disagreements = 0
+    for atom in lp_random.universe():
+        if atom.predicate != "win":
+            continue
+        if lp_random.is_true(atom):
+            counts["won"] += 1
+        elif lp_random.is_false(atom):
+            counts["lost"] += 1
+        else:
+            counts["drawn"] += 1
+        agree = (
+            lp_random.is_true(atom) == dpm_random.is_true(atom)
+            and lp_random.is_false(atom) == dpm_random.is_false(atom)
+        )
+        disagreements += 0 if agree else 1
+
+    print(f"  won positions   : {counts['won']}")
+    print(f"  lost positions  : {counts['lost']}")
+    print(f"  drawn positions : {counts['drawn']}")
+    print(f"  disagreements between the two computations: {disagreements}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,250 @@
+"""The guarded chase engine: breadth-first expansion of ``F⁺(P)`` (Sec. 2.5, 3).
+
+The engine materialises a finite, depth-bounded segment of the guarded chase
+forest of ``P = D ∪ Σ^f``:
+
+* roots are the database facts (plus ground facts of the Skolemised program);
+* in every round, for each node ``v`` and each ground instance ``r`` of a
+  Skolemised rule whose guard instantiates to ``label(v)`` and whose remaining
+  *positive* body atoms all occur as labels of the current forest, a child of
+  ``v`` labelled ``H(r)`` is added (once per ``(v, r)`` pair), with the edge
+  carrying the full rule ``r`` — negative body included — exactly as in the
+  construction of ``F⁺(P)``;
+* nodes at the configured depth bound are not expanded; they form the
+  *frontier* that the Datalog± engine inspects for its convergence test.
+
+The expansion is incremental: calling :meth:`GuardedChaseEngine.expand` again
+with a larger depth bound continues from the existing forest instead of
+rebuilding it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from ..exceptions import GroundingError, NotGuardedError
+from ..lang.atoms import Atom
+from ..lang.program import Database, NormalProgram
+from ..lang.rules import NormalRule
+from ..lang.substitution import Substitution, match
+from .forest import ChaseForest, ChaseNode
+
+__all__ = ["GuardedChaseEngine", "chase_forest"]
+
+
+class _PreparedRule:
+    """A Skolemised rule with its guard singled out for efficient matching."""
+
+    __slots__ = ("rule", "guard", "other_pos")
+
+    def __init__(self, rule: NormalRule, *, require_guarded: bool = True):
+        self.rule = rule
+        self.guard = _find_guard(rule, require_guarded=require_guarded)
+        self.other_pos = tuple(a for a in rule.body_pos if a is not self.guard)
+
+
+def _find_guard(rule: NormalRule, *, require_guarded: bool = True) -> Atom:
+    """The guard of a Skolemised guarded rule.
+
+    After Skolemisation the universally quantified variables of the original
+    NTGD are exactly the variables of the rule, so the guard is a positive
+    body atom containing all of them.  The first such atom (in body order) is
+    chosen, matching :meth:`repro.lang.rules.NTGD.guard`.
+
+    With ``require_guarded=False`` (experimentation mode — the paper's
+    decidability results do not apply), an unguarded rule falls back to the
+    positive body atom covering the most variables; the chase still requires
+    every body atom to match existing labels, so derivations remain correct,
+    only the forest-locality guarantees are lost.
+    """
+    all_variables = rule.variables()
+    for atom in rule.body_pos:
+        if all_variables <= atom.variables():
+            return atom
+    if require_guarded:
+        raise NotGuardedError(f"rule {rule} has no guard atom")
+    return max(rule.body_pos, key=lambda atom: len(atom.variables()))
+
+
+class GuardedChaseEngine:
+    """Incrementally expands the guarded chase forest of ``D ∪ Σ^f``.
+
+    Parameters
+    ----------
+    skolemized_program:
+        The functional transformation ``Σ^f`` as a :class:`NormalProgram` (or
+        any iterable of Skolemised :class:`NormalRule`).  Every non-fact rule
+        must be guarded.
+    database:
+        The database ``D`` (an iterable of ground atoms or a :class:`Database`).
+    max_nodes:
+        Safety budget: expansion raises :class:`GroundingError` if the forest
+        would exceed this many nodes (default one million).
+    """
+
+    def __init__(
+        self,
+        skolemized_program: NormalProgram | Iterable[NormalRule],
+        database: Database | Iterable[Atom],
+        *,
+        max_nodes: int = 1_000_000,
+        require_guarded: bool = True,
+    ):
+        self.forest = ChaseForest()
+        self.max_nodes = max_nodes
+        self._rules: list[_PreparedRule] = []
+        self._rules_by_guard_pred: dict[str, list[_PreparedRule]] = {}
+
+        for rule in skolemized_program:
+            if rule.is_fact():
+                if rule.is_ground():
+                    self._add_fact(rule.head)
+                continue
+            prepared = _PreparedRule(rule, require_guarded=require_guarded)
+            self._rules.append(prepared)
+            self._rules_by_guard_pred.setdefault(prepared.guard.predicate, []).append(prepared)
+
+        for atom in database:
+            self._add_fact(atom)
+
+        #: depth bound in effect after the last call to :meth:`expand`
+        self.depth_bound = 0
+        #: number of expansion rounds performed so far
+        self.rounds = 0
+
+    def _add_fact(self, atom: Atom) -> None:
+        """Add a root node for a fact unless one with that label already exists."""
+        if not self.forest.has_label(atom) or not any(
+            n.is_root() and n.label == atom for n in self.forest.nodes_with_label(atom)
+        ):
+            self.forest.add_root(atom)
+
+    # -- expansion ------------------------------------------------------------------
+
+    def expand(self, max_depth: int, *, max_rounds: Optional[int] = None) -> bool:
+        """Expand the forest up to tree depth *max_depth*.
+
+        Nodes at depth ``max_depth`` are not given children.  Returns ``True``
+        if at least one node was added.  Expansion always runs to saturation
+        within the depth bound (unless *max_rounds* cuts it short).
+
+        Raises
+        ------
+        GroundingError
+            If the node budget is exceeded.
+        """
+        if max_depth < self.depth_bound:
+            # the forest is already expanded beyond this bound; nothing to do
+            return False
+        self.depth_bound = max_depth
+        added_any = False
+        changed = True
+        rounds_here = 0
+        while changed:
+            if max_rounds is not None and rounds_here >= max_rounds:
+                break
+            changed = self._expand_one_round(max_depth)
+            added_any = added_any or changed
+            rounds_here += 1
+            self.rounds += 1
+        return added_any
+
+    def _expand_one_round(self, max_depth: int) -> bool:
+        """One breadth-first round: fire every applicable (node, ground rule) pair."""
+        labels = self.forest.labels()
+        label_index = _index_by_predicate(labels)
+        level = self.rounds + 1
+        new_children: list[tuple[int, Atom, NormalRule]] = []
+
+        for node in list(self.forest.nodes()):
+            if node.depth >= max_depth:
+                continue
+            for prepared in self._rules_by_guard_pred.get(node.label.predicate, ()):
+                guard_match = match(prepared.guard, node.label)
+                if guard_match is None:
+                    continue
+                for full_match in _match_remaining(prepared.other_pos, label_index, guard_match):
+                    ground_rule = _instantiate(prepared.rule, full_match)
+                    if self.forest.was_applied(node.node_id, ground_rule):
+                        continue
+                    new_children.append((node.node_id, ground_rule.head, ground_rule))
+
+        if not new_children:
+            return False
+        if len(self.forest) + len(new_children) > self.max_nodes:
+            raise GroundingError(
+                f"chase forest would exceed the node budget of {self.max_nodes}; "
+                "lower the depth bound or raise max_nodes"
+            )
+        for parent_id, head, rule in new_children:
+            # Re-check: the same (parent, rule) pair may have been queued once only,
+            # but defensive duplicate checks keep the forest well-formed.
+            if not self.forest.was_applied(parent_id, rule):
+                self.forest.add_child(parent_id, head, rule, level)
+        return True
+
+    # -- views used by the Datalog± engine ----------------------------------------------
+
+    def frontier_nodes(self) -> list[ChaseNode]:
+        """Nodes at the current depth bound (not yet expanded)."""
+        return self.forest.nodes_at_depth(self.depth_bound)
+
+    def ground_rules(self) -> list[NormalRule]:
+        """All ground rules labelling edges of the expanded forest segment."""
+        return self.forest.edge_rules()
+
+    def atoms(self) -> frozenset[Atom]:
+        """All atoms labelling nodes of the expanded forest segment."""
+        return self.forest.labels()
+
+    def __repr__(self) -> str:
+        return (
+            f"GuardedChaseEngine(depth_bound={self.depth_bound}, "
+            f"{len(self.forest)} nodes, {len(self._rules)} rules)"
+        )
+
+
+def _index_by_predicate(atoms: Iterable[Atom]) -> dict[str, list[Atom]]:
+    """Group atoms by predicate for body matching."""
+    index: dict[str, list[Atom]] = {}
+    for atom in atoms:
+        index.setdefault(atom.predicate, []).append(atom)
+    return index
+
+
+def _match_remaining(
+    patterns: Sequence[Atom],
+    label_index: Mapping[str, Sequence[Atom]],
+    subst: Substitution,
+):
+    """Match the non-guard positive body atoms against the forest labels."""
+    if not patterns:
+        yield subst
+        return
+    first, rest = patterns[0], patterns[1:]
+    for candidate in label_index.get(first.predicate, ()):  # pragma: no branch
+        extended = match(first, candidate, subst)
+        if extended is not None:
+            yield from _match_remaining(rest, label_index, extended)
+
+
+def _instantiate(rule: NormalRule, subst: Substitution) -> NormalRule:
+    """Apply a substitution to a rule, producing a ground instance."""
+    return NormalRule(
+        subst.apply_atom(rule.head),
+        tuple(subst.apply_atom(a) for a in rule.body_pos),
+        tuple(subst.apply_atom(a) for a in rule.body_neg),
+    )
+
+
+def chase_forest(
+    skolemized_program: NormalProgram | Iterable[NormalRule],
+    database: Database | Iterable[Atom],
+    max_depth: int,
+    *,
+    max_nodes: int = 1_000_000,
+) -> ChaseForest:
+    """Convenience wrapper: build and expand a guarded chase forest in one call."""
+    engine = GuardedChaseEngine(skolemized_program, database, max_nodes=max_nodes)
+    engine.expand(max_depth)
+    return engine.forest

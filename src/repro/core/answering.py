@@ -1,0 +1,64 @@
+"""Convenience entry points for NBCQ answering under WFS(D, Σ) (Theorem 14).
+
+These module-level functions wrap :class:`~repro.core.engine.WellFoundedEngine`
+for one-shot use; applications that ask several queries against the same
+(D, Σ) should construct an engine once and reuse it (the chase segment and
+the fixpoint are cached on the engine).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from ..lang.atoms import Atom, Literal
+from ..lang.program import Database, DatalogPMProgram
+from ..lang.queries import ConjunctiveQuery, NormalBCQ
+from ..lang.terms import Constant, Term
+from .engine import DatalogWellFoundedModel, WellFoundedEngine
+
+__all__ = ["holds_under_wfs", "answer_query", "certain_answers"]
+
+
+def holds_under_wfs(
+    program: Union[DatalogPMProgram, str],
+    database: Union[Database, Iterable[Atom], str, None],
+    query: Union[NormalBCQ, Literal, Atom, str],
+    **engine_options,
+) -> bool:
+    """Decide ``WFS(D, Σ) |= Q`` for an NBCQ (or ground literal/atom) Q.
+
+    ``engine_options`` are forwarded to :class:`WellFoundedEngine` (depth
+    schedule, strictness, ...).
+    """
+    engine = WellFoundedEngine(program, database, **engine_options)
+    return engine.holds(query)
+
+
+def answer_query(
+    program: Union[DatalogPMProgram, str],
+    database: Union[Database, Iterable[Atom], str, None],
+    query: Union[ConjunctiveQuery, str],
+    *,
+    constants_only: bool = True,
+    **engine_options,
+) -> set[tuple[Term, ...]]:
+    """All answers to a (non-Boolean) conjunctive query over WFS(D, Σ)."""
+    engine = WellFoundedEngine(program, database, **engine_options)
+    return engine.answer(query, constants_only=constants_only)
+
+
+def certain_answers(
+    model: DatalogWellFoundedModel,
+    query: ConjunctiveQuery,
+) -> set[tuple[Constant, ...]]:
+    """Answers to *query* over an already-computed model, restricted to constants.
+
+    The paper defines CQ answers as tuples over ``Δ``; tuples containing
+    labelled nulls are therefore filtered out here.
+    """
+    from ..lang.queries import evaluate_query
+
+    answers = evaluate_query(query, model)
+    return {
+        tup for tup in answers if all(isinstance(t, Constant) for t in tup)
+    }

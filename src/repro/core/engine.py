@@ -1,0 +1,433 @@
+"""The well-founded semantics for guarded normal Datalog± under the UNA.
+
+This is the paper's central object (Definition 3): for a guarded normal
+Datalog± program Σ and a database D,
+
+    WFS(D, Σ)  :=  WFS(D ∪ Σ^f)
+
+where Σ^f is the functional (Skolem) transformation of Σ.  The program
+``P = D ∪ Σ^f`` has an infinite grounding as soon as Σ has existential rules,
+so ``WFS(P)`` cannot be computed by the finite-program machinery directly.
+The paper shows (via forward proofs, locality and the δ bound of Prop. 12)
+that NBCQ answering only ever needs a *finite initial segment* of the guarded
+chase forest ``F⁺(P)``.
+
+:class:`WellFoundedEngine` turns that result into a practical procedure:
+
+1. Skolemise Σ and expand the guarded chase forest of ``D ∪ Σ^f`` up to a
+   depth bound (the chase only ever uses the positive parts of rules, exactly
+   as in the construction of ``F⁺(P)``).
+2. Collect the ground rules labelling the edges of the segment together with
+   the database facts; this is precisely the set of instances of
+   ``ground(P)`` whose guard and positive body lie inside the segment.
+3. Compute the exact WFS of this finite ground program with the classical
+   unfounded-set construction (:mod:`repro.lp.wfs`).  Atoms that label no
+   node of the segment have no forward proof there and are treated as false.
+4. **Iterative deepening**: repeat with a larger depth until the approximation
+   is stable — every frontier node's type already occurred at a smaller
+   depth (the locality argument of Lemma 11: the subtree below a node is
+   determined by its type) *and* the truth values over the previous segment
+   did not change.  The theoretical bound ``n·δ`` of Prop. 12 guarantees that
+   a stable depth exists; the type-repetition test finds it early.
+
+The result is wrapped in :class:`DatalogWellFoundedModel`, which implements
+the three-valued protocol used by NBCQ evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from ..exceptions import ConvergenceError
+from ..lang.atoms import Atom, Literal
+from ..lang.program import Database, DatalogPMProgram
+from ..lang.queries import ConjunctiveQuery, NormalBCQ, evaluate_query, query_holds
+from ..lang.rules import NormalRule
+from ..lang.skolem import skolemize_program
+from ..lang.parser import parse_database, parse_program, parse_query
+from ..lang.terms import Constant, Term
+from ..chase.engine import GuardedChaseEngine
+from ..chase.forest import ChaseForest
+from ..chase.types import AtomType
+from ..lp.grounding import GroundProgram
+from ..lp.interpretation import TruthValue
+from ..lp.wfs import WellFoundedModel, well_founded_model
+from .locality import delta_bound, query_depth_bound
+
+__all__ = ["DatalogWellFoundedModel", "WellFoundedEngine"]
+
+
+class DatalogWellFoundedModel:
+    """The (finite-segment approximation of the) well-founded model WFS(D, Σ).
+
+    Wraps the exact WFS of the ground program extracted from a chase segment,
+    together with the segment itself.  Implements the three-valued protocol:
+
+    * :meth:`is_true` — the atom is well-founded;
+    * :meth:`is_false` — the atom is unfounded; atoms that label no node of
+      the segment are false (they have no forward proof there);
+    * :meth:`is_undefined` — neither.
+
+    ``converged`` records whether the engine's stabilisation test succeeded
+    within its depth budget; when it is ``False`` the model is still a sound
+    under-approximation of the positive part but negative/undefined values
+    near the frontier may still change with deeper expansion.
+    """
+
+    def __init__(
+        self,
+        lp_model: WellFoundedModel,
+        forest: ChaseForest,
+        *,
+        depth: int,
+        converged: bool,
+        iterations: int,
+    ):
+        self._lp_model = lp_model
+        self._forest = forest
+        # Snapshot of the segment's labels at construction time: the engine's
+        # iterative deepening keeps growing the underlying forest object, and
+        # the stabilisation test compares models taken at different depths, so
+        # each model must remember which atoms *its* segment contained.
+        self._labels = forest.labels()
+        self.depth = depth
+        self.converged = converged
+        self.iterations = iterations
+
+    # -- three-valued protocol ----------------------------------------------------
+
+    def is_true(self, atom: Atom) -> bool:
+        """Is the ground atom well-founded (true in WFS(D, Σ))?"""
+        return self._lp_model.is_true(atom)
+
+    def is_false(self, atom: Atom) -> bool:
+        """Is the ground atom unfounded (false in WFS(D, Σ))?
+
+        Atoms that label no node of the chase segment have no forward proof
+        and are reported false, matching the paper's characterisation that
+        atoms outside ``F⁺(P)`` are certainly false.
+        """
+        if self._lp_model.is_true(atom):
+            return False
+        if self._lp_model.is_false(atom):
+            return True
+        return atom not in self._labels
+
+    def is_undefined(self, atom: Atom) -> bool:
+        """Does the atom carry the third truth value?"""
+        return not self.is_true(atom) and not self.is_false(atom)
+
+    def value(self, atom: Atom) -> str:
+        """The :class:`~repro.lp.interpretation.TruthValue` of the atom."""
+        if self.is_true(atom):
+            return TruthValue.TRUE
+        if self.is_false(atom):
+            return TruthValue.FALSE
+        return TruthValue.UNDEFINED
+
+    def holds(self, literal: Literal) -> bool:
+        """Is the ground literal a consequence under the WFS?"""
+        if literal.positive:
+            return self.is_true(literal.atom)
+        return self.is_false(literal.atom)
+
+    # -- views ----------------------------------------------------------------------
+
+    def true_atoms(self) -> frozenset[Atom]:
+        """The well-founded atoms of the materialised segment."""
+        return self._lp_model.true_atoms()
+
+    def false_atoms(self) -> frozenset[Atom]:
+        """The unfounded atoms occurring in the materialised segment."""
+        return self._lp_model.false_atoms()
+
+    def undefined_atoms(self) -> frozenset[Atom]:
+        """The undefined atoms of the materialised segment."""
+        return self._lp_model.undefined_atoms()
+
+    def literals(self) -> list[Literal]:
+        """All defined literals over the materialised segment."""
+        return list(self._lp_model.literals())
+
+    def segment_atoms(self) -> frozenset[Atom]:
+        """All atoms labelling nodes of the segment this model was computed on."""
+        return self._labels
+
+    def forest(self) -> ChaseForest:
+        """The materialised chase segment the model was computed on."""
+        return self._forest
+
+    def __repr__(self) -> str:
+        return (
+            f"DatalogWellFoundedModel(depth={self.depth}, converged={self.converged}, "
+            f"{len(self.true_atoms())} true, {len(self.false_atoms())} false, "
+            f"{len(self.undefined_atoms())} undefined)"
+        )
+
+
+class WellFoundedEngine:
+    """Computes WFS(D, Σ) and answers NBCQs over it (Definition 3, Theorems 13/14).
+
+    Parameters
+    ----------
+    program:
+        A guarded normal Datalog± program, or program text to parse (facts in
+        the text are added to the database).
+    database:
+        The database D (a :class:`Database`, an iterable of ground atoms, or
+        text to parse).
+    initial_depth, depth_step, max_depth:
+        Iterative-deepening schedule for the chase segment.  ``max_depth``
+        bounds the total work; if the stabilisation test has not fired by
+        then, the engine either raises :class:`ConvergenceError` (``strict=True``)
+        or returns the last approximation flagged ``converged=False``.
+    max_nodes:
+        Budget on the number of chase nodes materialised.
+    require_guarded:
+        Verify guardedness of Σ up front (the paper's decidability results
+        are for guarded programs); disable only for experimentation.
+    strict:
+        Whether failing to stabilise raises instead of returning a flagged model.
+    """
+
+    def __init__(
+        self,
+        program: Union[DatalogPMProgram, str],
+        database: Union[Database, Iterable[Atom], str, None] = None,
+        *,
+        initial_depth: int = 3,
+        depth_step: int = 2,
+        max_depth: int = 31,
+        max_nodes: int = 500_000,
+        require_guarded: bool = True,
+        strict: bool = False,
+        skolem_args: str = "universal",
+    ):
+        if isinstance(program, str):
+            program, parsed_facts = parse_program(program)
+        else:
+            parsed_facts = None
+
+        if database is None:
+            database = Database()
+        elif isinstance(database, str):
+            database = parse_database(database)
+        elif not isinstance(database, Database):
+            database = Database(database)
+        if parsed_facts is not None:
+            database = database.copy()
+            database.update(parsed_facts)
+
+        if require_guarded:
+            program.require_guarded()
+
+        self.program = program
+        self.database = database
+        self.skolemized = skolemize_program(program, skolem_args=skolem_args)
+        self.initial_depth = initial_depth
+        self.depth_step = depth_step
+        self.max_depth = max_depth
+        self.strict = strict
+
+        self._chase = GuardedChaseEngine(
+            self.skolemized, database, max_nodes=max_nodes, require_guarded=require_guarded
+        )
+        self._model: Optional[DatalogWellFoundedModel] = None
+
+    # -- public API --------------------------------------------------------------------
+
+    def model(self) -> DatalogWellFoundedModel:
+        """The well-founded model WFS(D, Σ) (computed on first use, then cached)."""
+        if self._model is None:
+            self._model = self._compute()
+        return self._model
+
+    def holds(self, query: Union[NormalBCQ, str, Literal, Atom]) -> bool:
+        """Does the NBCQ / literal / ground atom hold in WFS(D, Σ)?
+
+        Strings are parsed as NBCQs (``"? p(X), not q(X)"``).  Ground atoms
+        are treated as atomic queries; literals additionally allow asking for
+        falsity (``not a`` holds iff ``a`` is unfounded).
+        """
+        model = self.model()
+        if isinstance(query, str):
+            query = parse_query(query)
+        if isinstance(query, Atom):
+            return model.is_true(query)
+        if isinstance(query, Literal):
+            return model.holds(query)
+        return query_holds(query, model)
+
+    def answer(
+        self,
+        query: Union[ConjunctiveQuery, str],
+        *,
+        constants_only: bool = True,
+    ) -> set[tuple[Term, ...]]:
+        """Answers to a (non-Boolean) conjunctive query over the well-founded model.
+
+        Following the paper's definition of CQ answers, answer tuples range
+        over constants; set ``constants_only=False`` to also see tuples
+        containing labelled nulls (Skolem terms).
+        """
+        model = self.model()
+        if isinstance(query, str):
+            nbcq = parse_query(query)
+            if nbcq.negative:
+                raise ValueError(
+                    "answer() takes a conjunctive query without negation; use holds() for NBCQs"
+                )
+            variables = sorted(nbcq.variables(), key=lambda v: v.name)
+            query = ConjunctiveQuery(nbcq.positive, tuple(variables))
+        answers = evaluate_query(query, model)
+        if constants_only:
+            answers = {
+                tup for tup in answers if all(isinstance(t, Constant) for t in tup)
+            }
+        return answers
+
+    def literal_value(self, atom: Atom) -> str:
+        """The truth value of a ground atom in WFS(D, Σ)."""
+        return self.model().value(atom)
+
+    def chase_forest(self) -> ChaseForest:
+        """The materialised chase segment used by the current model."""
+        return self.model().forest()
+
+    def delta(self) -> int:
+        """The theoretical locality constant δ of Prop. 12 for this program's schema."""
+        return delta_bound(self.program.schema(self.database))
+
+    def query_depth_bound(self, query: Union[NormalBCQ, str]) -> int:
+        """The theoretical depth bound ``n·δ`` of Prop. 12 for a concrete query."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        return query_depth_bound(query, self.program.schema(self.database))
+
+    # -- computation -------------------------------------------------------------------
+
+    def _compute(self) -> DatalogWellFoundedModel:
+        """Iterative deepening with the type-repetition stabilisation test."""
+        previous: Optional[DatalogWellFoundedModel] = None
+        previous_frontier_keys: Optional[frozenset] = None
+        depth = self.initial_depth
+        iterations = 0
+        model: Optional[DatalogWellFoundedModel] = None
+
+        while depth <= self.max_depth:
+            iterations += 1
+            self._chase.expand(depth)
+            lp_model = well_founded_model(self._ground_program())
+            model = DatalogWellFoundedModel(
+                lp_model,
+                self._chase.forest,
+                depth=depth,
+                converged=False,
+                iterations=iterations,
+            )
+            frontier_keys = self._frontier_type_keys(model)
+            if previous is not None and self._stabilised(
+                previous, model, previous_frontier_keys, frontier_keys
+            ):
+                model.converged = True
+                break
+            previous = model
+            previous_frontier_keys = frontier_keys
+            depth += self.depth_step
+
+        if model is None:  # pragma: no cover - max_depth < initial_depth misuse
+            raise ConvergenceError("max_depth is smaller than initial_depth", depth=self.max_depth)
+        if not model.converged and self.strict:
+            raise ConvergenceError(
+                f"well-founded model did not stabilise within depth {self.max_depth}",
+                partial_model=model,
+                depth=self.max_depth,
+            )
+        return model
+
+    def _ground_program(self) -> GroundProgram:
+        """The finite ground program induced by the materialised chase segment."""
+        ground = GroundProgram()
+        for root in self._chase.forest.roots():
+            ground.add(NormalRule(root.label))
+        for rule in self._chase.forest.edge_rules():
+            ground.add(rule)
+        return ground
+
+    def _frontier_type_keys(self, model: DatalogWellFoundedModel) -> frozenset:
+        """Canonical type keys of the current frontier nodes, w.r.t. *model*.
+
+        The type of a frontier node is the paper's ``(a, S)`` computed against
+        the current approximation: the node's label together with every
+        defined literal whose arguments all occur among the label's arguments,
+        canonicalised up to renaming of nulls (:class:`repro.chase.types.AtomType`).
+        """
+        forest = self._chase.forest
+        frontier = [n for n in forest.nodes() if n.depth == self._chase.depth_bound]
+        if not frontier:
+            return frozenset()
+        literals = model.literals()
+
+        # Index model literals by argument term so that the per-node type
+        # computation only inspects literals that can possibly lie inside the
+        # node's domain (instead of scanning the full model for every node).
+        literals_by_term: dict[Term, list[Literal]] = {}
+        nullary_literals: list[Literal] = []
+        for literal in literals:
+            args = literal.atom.args
+            if not args:
+                nullary_literals.append(literal)
+                continue
+            for term in set(args):
+                literals_by_term.setdefault(term, []).append(literal)
+
+        def type_key(label: Atom) -> tuple:
+            domain = set(label.args)
+            candidates: set[Literal] = set(nullary_literals)
+            for term in domain:
+                candidates.update(literals_by_term.get(term, ()))
+            selected = frozenset(
+                lit for lit in candidates if set(lit.atom.args) <= domain
+            )
+            return AtomType(label, selected).key()
+
+        return frozenset(type_key(node.label) for node in frontier)
+
+    def _stabilised(
+        self,
+        previous: DatalogWellFoundedModel,
+        current: DatalogWellFoundedModel,
+        previous_frontier_keys: Optional[frozenset],
+        current_frontier_keys: frozenset,
+    ) -> bool:
+        """The engine's convergence test (see DESIGN.md, Sec. 2.2).
+
+        Two conditions, both grounded in the locality lemma (Lemma 11):
+
+        (a) the *frontier looks the same as last round*: the set of canonical
+            frontier type keys is unchanged between the previous and the
+            current depth (an empty frontier — a terminating chase — counts
+            as stable);
+        (b) the truth values of all atoms of the previous segment are
+            unchanged by the deeper expansion.
+
+        Because isomorphic types generate isomorphic subtrees with isomorphic
+        well-founded submodels, a repeating frontier together with stable
+        interior values means further expansion can only add isomorphic copies
+        of structure that is already accounted for.
+        """
+        # (b) value stability over the previous segment
+        for atom in previous.segment_atoms():
+            if previous.value(atom) != current.value(atom):
+                return False
+
+        # (a) frontier stability
+        if not current_frontier_keys:
+            return True
+        if previous_frontier_keys is None:
+            return False
+        return current_frontier_keys == previous_frontier_keys
+
+    def __repr__(self) -> str:
+        status = "unevaluated" if self._model is None else repr(self._model)
+        return f"WellFoundedEngine({len(self.program)} NTGDs, |D|={len(self.database)}, {status})"

@@ -1,0 +1,183 @@
+"""WCHECK-style membership checks via root-to-atom paths (Sec. 4 of the paper).
+
+The paper's WCHECK algorithm decides whether a ground atom belongs to the
+well-founded model by searching for a *path* in ``F⁺(D ∪ Σ^f)`` from a root
+node to a node labelled with the atom such that every *side literal* along
+the path — the non-guard positive body atoms and the negated body atoms of
+the rules applied on the path — belongs to the well-founded model; this is a
+sufficient and necessary condition (Sec. 4).  Dually, a ground atom is false
+iff every path to it is blocked by a side literal whose complement holds (and
+atoms labelling no node at all are false).
+
+The original algorithm is an alternating procedure that re-verifies side
+literals by launching subcomputations, which is what yields the 2-EXPTIME
+worst-case bound.  Here the forest segment is already materialised and the
+engine's fixpoint is available, so the implementation
+
+* enumerates the (finitely many) nodes labelled with the atom,
+* extracts the side literals of each root-to-node path
+  (:meth:`repro.chase.forest.ChaseForest.side_literals_of_path`),
+* verifies them against the model — either the engine's fixpoint (default)
+  or recursively with memoisation (``recursive=True``), which mirrors the
+  subcomputation structure of WCHECK itself.
+
+The functions double as an independent cross-check of the engine: for every
+atom of the segment, path-membership and fixpoint-membership must agree
+(asserted by the integration tests).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..lang.atoms import Atom, Literal
+from ..chase.forest import ChaseForest
+from .engine import DatalogWellFoundedModel, WellFoundedEngine
+
+__all__ = ["wcheck_atom", "wcheck_literal", "path_witness"]
+
+
+def _resolve(
+    model_or_engine: Union[DatalogWellFoundedModel, WellFoundedEngine],
+) -> DatalogWellFoundedModel:
+    """Accept either an engine or an already-computed model."""
+    if isinstance(model_or_engine, WellFoundedEngine):
+        return model_or_engine.model()
+    return model_or_engine
+
+
+def _side_literals_hold(
+    forest: ChaseForest,
+    node_id: int,
+    is_true,
+    is_false,
+) -> bool:
+    """Do all side literals of the root-to-node path hold under the given tests?"""
+    positive, negative = forest.side_literals_of_path(node_id)
+    return all(is_true(a) for a in positive) and all(is_false(a) for a in negative)
+
+
+def wcheck_atom(
+    model_or_engine: Union[DatalogWellFoundedModel, WellFoundedEngine],
+    atom: Atom,
+    *,
+    recursive: bool = False,
+) -> bool:
+    """Decide ``atom ∈ WFS(D, Σ)`` by the path criterion of Sec. 4.
+
+    With ``recursive=True`` the side literals are themselves verified by the
+    path criterion (with memoisation and a cycle check) instead of by the
+    engine's fixpoint; positive cyclic dependencies fail the check, which is
+    the well-founded reading.
+    """
+    model = _resolve(model_or_engine)
+    forest = model.forest()
+    if recursive:
+        return _recursive_check(forest, model, atom, True, {})
+    return any(
+        _side_literals_hold(forest, node.node_id, model.is_true, model.is_false)
+        for node in forest.nodes_with_label(atom)
+    )
+
+
+def wcheck_literal(
+    model_or_engine: Union[DatalogWellFoundedModel, WellFoundedEngine],
+    literal: Literal,
+    *,
+    recursive: bool = False,
+) -> bool:
+    """Decide whether a ground literal is a consequence, by the path criterion.
+
+    For a positive literal this is :func:`wcheck_atom`.  For a negative
+    literal ``¬a``: every path to a node labelled ``a`` must be blocked by a
+    side literal whose complement belongs to the model (atoms labelling no
+    node are vacuously false).
+    """
+    model = _resolve(model_or_engine)
+    forest = model.forest()
+    if literal.positive:
+        return wcheck_atom(model, literal.atom, recursive=recursive)
+
+    nodes = forest.nodes_with_label(literal.atom)
+    if not nodes:
+        return True
+    if recursive:
+        return _recursive_check(forest, model, literal.atom, False, {})
+    for node in nodes:
+        positive, negative = forest.side_literals_of_path(node.node_id)
+        blocked = any(model.is_false(a) for a in positive) or any(
+            model.is_true(a) for a in negative
+        )
+        if not blocked:
+            return False
+    return True
+
+
+def path_witness(
+    model_or_engine: Union[DatalogWellFoundedModel, WellFoundedEngine],
+    atom: Atom,
+) -> Optional[list[Atom]]:
+    """Return the labels of a witnessing root-to-atom path, or ``None``.
+
+    Useful for explanations: the returned list starts at a database fact and
+    ends at *atom*; every rule applied along it has its side literals in the
+    well-founded model.
+    """
+    model = _resolve(model_or_engine)
+    forest = model.forest()
+    for node in forest.nodes_with_label(atom):
+        if _side_literals_hold(forest, node.node_id, model.is_true, model.is_false):
+            path = list(reversed(forest.path_to_root(node.node_id)))
+            return [n.label for n in path]
+    return None
+
+
+def _recursive_check(
+    forest: ChaseForest,
+    model: DatalogWellFoundedModel,
+    atom: Atom,
+    want_true: bool,
+    memo: dict[tuple[Atom, bool], Optional[bool]],
+) -> bool:
+    """Recursive side-literal verification with memoisation.
+
+    ``memo`` maps ``(atom, want_true)`` to ``True``/``False`` once decided and
+    to ``None`` while a check is in progress; hitting an in-progress entry
+    means a cyclic positive dependency, which is read as failure for positive
+    goals (not well-founded) and as "not blocked by this literal" for the
+    negative direction.
+    """
+    key = (atom, want_true)
+    if key in memo:
+        cached = memo[key]
+        return False if cached is None else cached
+    memo[key] = None
+
+    nodes = forest.nodes_with_label(atom)
+    if want_true:
+        result = False
+        for node in nodes:
+            positive, negative = forest.side_literals_of_path(node.node_id)
+            if all(
+                _recursive_check(forest, model, a, True, memo) for a in positive
+            ) and all(
+                _recursive_check(forest, model, a, False, memo) for a in negative
+            ):
+                result = True
+                break
+    else:
+        if not nodes:
+            result = True
+        else:
+            result = True
+            for node in nodes:
+                positive, negative = forest.side_literals_of_path(node.node_id)
+                blocked = any(
+                    _recursive_check(forest, model, a, False, memo) for a in positive
+                ) or any(_recursive_check(forest, model, a, True, memo) for a in negative)
+                if not blocked:
+                    result = False
+                    break
+
+    memo[key] = result
+    return result

@@ -1,0 +1,51 @@
+"""DL-Lite_{R,⊓,not} front-end: ontologies translated to guarded normal Datalog±.
+
+Implements the ontology side of the paper's motivation (Example 1 and
+Example 2): description-logic TBoxes/ABoxes are encoded as guarded normal
+Datalog± programs and queried under the standard well-founded semantics with
+the unique name assumption.
+"""
+
+from .reasoner import OntologyReasoner
+from .syntax import (
+    ABox,
+    AtomicConcept,
+    ConceptAssertion,
+    ConceptInclusion,
+    ConceptLiteral,
+    ExistentialConcept,
+    Ontology,
+    Role,
+    RoleAssertion,
+    RoleInclusion,
+    TBox,
+)
+from .translate import (
+    concept_predicate,
+    exists_predicate,
+    role_predicate,
+    translate_abox,
+    translate_ontology,
+    translate_tbox,
+)
+
+__all__ = [
+    "OntologyReasoner",
+    "ABox",
+    "AtomicConcept",
+    "ConceptAssertion",
+    "ConceptInclusion",
+    "ConceptLiteral",
+    "ExistentialConcept",
+    "Ontology",
+    "Role",
+    "RoleAssertion",
+    "RoleInclusion",
+    "TBox",
+    "concept_predicate",
+    "exists_predicate",
+    "role_predicate",
+    "translate_abox",
+    "translate_ontology",
+    "translate_tbox",
+]

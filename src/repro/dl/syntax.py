@@ -1,0 +1,347 @@
+"""DL-Lite_{R,⊓,not} syntax: concepts, roles, axioms, TBoxes and ABoxes.
+
+The paper's Example 2 interprets an extension of the DL-Lite family with
+default negation (written ``not``) under the *standard* well-founded
+semantics; the ontology language used there — DL-Lite_{R,⊓,not} from the
+authors' AAAI-2012 companion paper — allows axioms of the form
+
+    B₁ ⊓ … ⊓ Bₖ ⊓ not Bₖ₊₁ ⊓ … ⊓ not Bₙ  ⊑  C
+
+where every ``Bᵢ`` and ``C`` is a *basic concept*: an atomic concept ``A``, an
+unqualified existential ``∃R`` or ``∃R⁻``; plus role inclusions ``R ⊑ S``
+(with possibly inverted sides) as in DL-Lite_R.  The ABox contains concept
+and role assertions over individuals.
+
+This module defines the abstract syntax as small immutable classes; the
+translation to guarded normal Datalog± lives in :mod:`repro.dl.translate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+from ..exceptions import TranslationError
+
+__all__ = [
+    "AtomicConcept",
+    "ExistentialConcept",
+    "Role",
+    "ConceptLiteral",
+    "ConceptInclusion",
+    "RoleInclusion",
+    "ConceptAssertion",
+    "RoleAssertion",
+    "TBox",
+    "ABox",
+    "Ontology",
+]
+
+
+@dataclass(frozen=True)
+class Role:
+    """A role name, possibly inverted (``R`` or ``R⁻``)."""
+
+    name: str
+    inverse: bool = False
+
+    def inverted(self) -> "Role":
+        """The inverse of this role (``R⁻`` of ``R`` and vice versa)."""
+        return Role(self.name, not self.inverse)
+
+    def __str__(self) -> str:
+        return f"{self.name}-" if self.inverse else self.name
+
+
+@dataclass(frozen=True)
+class AtomicConcept:
+    """An atomic concept ``A`` (a class name)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ExistentialConcept:
+    """An unqualified existential restriction ``∃R`` or ``∃R⁻``."""
+
+    role: Role
+
+    def __str__(self) -> str:
+        return f"exists {self.role}"
+
+
+#: A basic concept is an atomic concept or an unqualified existential.
+BasicConcept = Union[AtomicConcept, ExistentialConcept]
+
+
+@dataclass(frozen=True)
+class ConceptLiteral:
+    """A basic concept or its default negation, as used on axiom left-hand sides."""
+
+    concept: BasicConcept
+    positive: bool = True
+
+    def __str__(self) -> str:
+        return str(self.concept) if self.positive else f"not {self.concept}"
+
+
+@dataclass(frozen=True)
+class ConceptInclusion:
+    """An extended concept inclusion ``L₁ ⊓ … ⊓ Lₙ ⊑ C``.
+
+    The left-hand side is a conjunction of concept literals (at least one of
+    which must be positive so that the Datalog± translation is guarded); the
+    right-hand side is a basic concept.
+    """
+
+    lhs: tuple[ConceptLiteral, ...]
+    rhs: BasicConcept
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lhs", tuple(self.lhs))
+        if not self.lhs:
+            raise TranslationError("a concept inclusion needs at least one left-hand conjunct")
+        if not any(literal.positive for literal in self.lhs):
+            raise TranslationError(
+                f"concept inclusion {self} has no positive conjunct; the guarded "
+                "translation requires at least one"
+            )
+
+    def positive_lhs(self) -> list[ConceptLiteral]:
+        """The positive conjuncts of the left-hand side."""
+        return [l for l in self.lhs if l.positive]
+
+    def negative_lhs(self) -> list[ConceptLiteral]:
+        """The negated conjuncts of the left-hand side."""
+        return [l for l in self.lhs if not l.positive]
+
+    def __str__(self) -> str:
+        return f"{' and '.join(str(l) for l in self.lhs)} subClassOf {self.rhs}"
+
+
+@dataclass(frozen=True)
+class RoleInclusion:
+    """A role inclusion ``R ⊑ S`` where either side may be inverted."""
+
+    lhs: Role
+    rhs: Role
+
+    def __str__(self) -> str:
+        return f"{self.lhs} subPropertyOf {self.rhs}"
+
+
+@dataclass(frozen=True)
+class ConceptAssertion:
+    """An ABox assertion ``A(a)``."""
+
+    concept: AtomicConcept
+    individual: str
+
+    def __str__(self) -> str:
+        return f"{self.concept}({self.individual})"
+
+
+@dataclass(frozen=True)
+class RoleAssertion:
+    """An ABox assertion ``R(a, b)``."""
+
+    role: Role
+    subject: str
+    object: str
+
+    def __str__(self) -> str:
+        return f"{self.role}({self.subject}, {self.object})"
+
+
+class TBox:
+    """A terminological box: a finite set of concept and role inclusions."""
+
+    def __init__(
+        self,
+        axioms: Iterable[Union[ConceptInclusion, RoleInclusion]] = (),
+    ):
+        self._axioms: list[Union[ConceptInclusion, RoleInclusion]] = list(axioms)
+
+    def add(self, axiom: Union[ConceptInclusion, RoleInclusion]) -> None:
+        """Add an axiom."""
+        self._axioms.append(axiom)
+
+    def concept_inclusions(self) -> list[ConceptInclusion]:
+        """The concept inclusions of the TBox."""
+        return [a for a in self._axioms if isinstance(a, ConceptInclusion)]
+
+    def role_inclusions(self) -> list[RoleInclusion]:
+        """The role inclusions of the TBox."""
+        return [a for a in self._axioms if isinstance(a, RoleInclusion)]
+
+    def __iter__(self) -> Iterator[Union[ConceptInclusion, RoleInclusion]]:
+        return iter(self._axioms)
+
+    def __len__(self) -> int:
+        return len(self._axioms)
+
+    def __str__(self) -> str:
+        return "\n".join(str(a) for a in self._axioms)
+
+
+class ABox:
+    """An assertional box: concept and role assertions over individuals."""
+
+    def __init__(
+        self,
+        assertions: Iterable[Union[ConceptAssertion, RoleAssertion]] = (),
+    ):
+        self._assertions: list[Union[ConceptAssertion, RoleAssertion]] = list(assertions)
+
+    def add(self, assertion: Union[ConceptAssertion, RoleAssertion]) -> None:
+        """Add an assertion."""
+        self._assertions.append(assertion)
+
+    def assert_concept(self, concept: Union[AtomicConcept, str], individual: str) -> None:
+        """Convenience: add ``A(a)``."""
+        if isinstance(concept, str):
+            concept = AtomicConcept(concept)
+        self.add(ConceptAssertion(concept, individual))
+
+    def assert_role(self, role: Union[Role, str], subject: str, object: str) -> None:
+        """Convenience: add ``R(a, b)``."""
+        if isinstance(role, str):
+            role = Role(role)
+        self.add(RoleAssertion(role, subject, object))
+
+    def individuals(self) -> set[str]:
+        """All individuals mentioned by the ABox."""
+        result: set[str] = set()
+        for assertion in self._assertions:
+            if isinstance(assertion, ConceptAssertion):
+                result.add(assertion.individual)
+            else:
+                result.add(assertion.subject)
+                result.add(assertion.object)
+        return result
+
+    def __iter__(self) -> Iterator[Union[ConceptAssertion, RoleAssertion]]:
+        return iter(self._assertions)
+
+    def __len__(self) -> int:
+        return len(self._assertions)
+
+    def __str__(self) -> str:
+        return "\n".join(str(a) for a in self._assertions)
+
+
+class Ontology:
+    """A DL-Lite_{R,⊓,not} ontology: a TBox plus an ABox.
+
+    Provides a small builder API so that the running examples read naturally::
+
+        onto = Ontology()
+        onto.subclass(["Person", "Employed", ("not", "exists JobSeekerID")],
+                      "exists EmployeeID")
+        onto.abox.assert_concept("Person", "a")
+    """
+
+    def __init__(self, tbox: Optional[TBox] = None, abox: Optional[ABox] = None):
+        self.tbox = tbox if tbox is not None else TBox()
+        self.abox = abox if abox is not None else ABox()
+
+    # -- builder helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _parse_basic(expr: Union[BasicConcept, str]) -> BasicConcept:
+        """Parse ``"A"``, ``"exists R"`` or ``"exists R-"`` into a basic concept."""
+        if isinstance(expr, (AtomicConcept, ExistentialConcept)):
+            return expr
+        text = expr.strip()
+        if text.lower().startswith("exists "):
+            role_text = text[len("exists "):].strip()
+            inverse = role_text.endswith("-")
+            role_name = role_text[:-1] if inverse else role_text
+            return ExistentialConcept(Role(role_name, inverse))
+        return AtomicConcept(text)
+
+    @classmethod
+    def _parse_literal(
+        cls, expr: Union[ConceptLiteral, BasicConcept, str, tuple]
+    ) -> ConceptLiteral:
+        """Parse a left-hand-side conjunct, allowing ``("not", concept)`` tuples
+        or strings prefixed with ``"not "``."""
+        if isinstance(expr, ConceptLiteral):
+            return expr
+        if isinstance(expr, tuple):
+            negation, inner = expr
+            if str(negation).lower() != "not":
+                raise TranslationError(f"unrecognised concept literal {expr!r}")
+            return ConceptLiteral(cls._parse_basic(inner), False)
+        if isinstance(expr, str) and expr.strip().lower().startswith("not "):
+            return ConceptLiteral(cls._parse_basic(expr.strip()[4:]), False)
+        return ConceptLiteral(cls._parse_basic(expr), True)
+
+    def subclass(
+        self,
+        lhs: Union[Sequence[Union[ConceptLiteral, BasicConcept, str, tuple]], str],
+        rhs: Union[BasicConcept, str],
+    ) -> ConceptInclusion:
+        """Add a concept inclusion; *lhs* may be a single concept or a conjunction."""
+        if isinstance(lhs, (str, AtomicConcept, ExistentialConcept, ConceptLiteral, tuple)):
+            lhs = [lhs]
+        literals = tuple(self._parse_literal(item) for item in lhs)
+        axiom = ConceptInclusion(literals, self._parse_basic(rhs))
+        self.tbox.add(axiom)
+        return axiom
+
+    def subrole(self, lhs: Union[Role, str], rhs: Union[Role, str]) -> RoleInclusion:
+        """Add a role inclusion (``"R-"`` denotes the inverse of ``R``)."""
+        axiom = RoleInclusion(self._parse_role(lhs), self._parse_role(rhs))
+        self.tbox.add(axiom)
+        return axiom
+
+    @staticmethod
+    def _parse_role(expr: Union[Role, str]) -> Role:
+        """Parse ``"R"`` / ``"R-"`` into a role."""
+        if isinstance(expr, Role):
+            return expr
+        text = expr.strip()
+        if text.endswith("-"):
+            return Role(text[:-1], True)
+        return Role(text)
+
+    # -- views ---------------------------------------------------------------------------
+
+    def concept_names(self) -> set[str]:
+        """All atomic concept names used by the ontology."""
+        names: set[str] = set()
+        for axiom in self.tbox.concept_inclusions():
+            for literal in axiom.lhs:
+                if isinstance(literal.concept, AtomicConcept):
+                    names.add(literal.concept.name)
+            if isinstance(axiom.rhs, AtomicConcept):
+                names.add(axiom.rhs.name)
+        for assertion in self.abox:
+            if isinstance(assertion, ConceptAssertion):
+                names.add(assertion.concept.name)
+        return names
+
+    def role_names(self) -> set[str]:
+        """All role names used by the ontology."""
+        names: set[str] = set()
+        for axiom in self.tbox:
+            if isinstance(axiom, RoleInclusion):
+                names.add(axiom.lhs.name)
+                names.add(axiom.rhs.name)
+            else:
+                for literal in axiom.lhs:
+                    if isinstance(literal.concept, ExistentialConcept):
+                        names.add(literal.concept.role.name)
+                if isinstance(axiom.rhs, ExistentialConcept):
+                    names.add(axiom.rhs.role.name)
+        for assertion in self.abox:
+            if isinstance(assertion, RoleAssertion):
+                names.add(assertion.role.name)
+        return names
+
+    def __str__(self) -> str:
+        return f"TBox:\n{self.tbox}\nABox:\n{self.abox}"

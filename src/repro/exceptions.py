@@ -1,0 +1,79 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class.  More specific subclasses signal
+well-defined failure modes (parsing, ill-formed rules, non-guarded programs,
+non-convergence of the chase, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` library."""
+
+
+class ParseError(ReproError):
+    """Raised when a textual program, query or database cannot be parsed.
+
+    Attributes
+    ----------
+    text:
+        The offending input fragment.
+    position:
+        Character offset inside ``text`` at which parsing failed, if known.
+    """
+
+    def __init__(self, message: str, text: str | None = None, position: int | None = None):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class IllFormedRuleError(ReproError):
+    """Raised when a rule violates a syntactic well-formedness condition.
+
+    Examples: a TGD with a null in it, a normal rule whose head contains a
+    variable that does not occur in the positive body (unsafe rule), or a
+    negative body atom whose variables are not covered by the positive body.
+    """
+
+
+class NotGuardedError(IllFormedRuleError):
+    """Raised when a (normal) TGD that must be guarded has no guard atom.
+
+    A normal TGD is *guarded* if some positive body atom contains every
+    universally quantified variable of the rule (Sec. 2.4 of the paper).
+    """
+
+
+class NotStratifiedError(ReproError):
+    """Raised when stratified semantics is requested for a non-stratified program."""
+
+
+class GroundingError(ReproError):
+    """Raised when a program cannot be grounded (e.g. infinite Herbrand base
+    requested without a depth bound)."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when the Datalog± well-founded engine fails to converge within
+    the configured chase-depth budget.
+
+    The exception carries the last (sound but possibly incomplete)
+    three-valued approximation so that callers can still inspect it.
+    """
+
+    def __init__(self, message: str, partial_model=None, depth: int | None = None):
+        super().__init__(message)
+        self.partial_model = partial_model
+        self.depth = depth
+
+
+class InconsistentInterpretationError(ReproError):
+    """Raised when an operation would produce an interpretation containing
+    both an atom and its negation."""
+
+
+class TranslationError(ReproError):
+    """Raised when a DL-Lite ontology cannot be translated to Datalog±."""

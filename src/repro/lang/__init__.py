@@ -1,0 +1,64 @@
+"""Language layer: terms, atoms, rules, programs, queries, parsing, Skolemisation.
+
+This package implements the syntactic objects of the paper (Sec. 2): data
+constants, labelled nulls and variables; atoms and literals; normal logic
+programs; (normal) TGDs with guardedness; databases; conjunctive queries and
+NBCQs; the functional transformation Σ ↦ Σ^f; plus a small textual syntax.
+"""
+
+from .atoms import Atom, Literal, neg, pos
+from .program import Database, DatalogPMProgram, NormalProgram, Schema
+from .queries import ConjunctiveQuery, NormalBCQ, evaluate_query, query_holds
+from .rules import NTGD, TGD, NormalRule
+from .skolem import skolemize_ntgd, skolemize_program
+from .substitution import Substitution, match, match_atoms, unify
+from .terms import Constant, FunctionTerm, Null, Term, Variable
+from .parser import (
+    parse_atom,
+    parse_database,
+    parse_literal,
+    parse_normal_program,
+    parse_normal_rule,
+    parse_ntgd,
+    parse_program,
+    parse_query,
+    parse_term,
+)
+
+__all__ = [
+    "Atom",
+    "Literal",
+    "pos",
+    "neg",
+    "Database",
+    "DatalogPMProgram",
+    "NormalProgram",
+    "Schema",
+    "ConjunctiveQuery",
+    "NormalBCQ",
+    "evaluate_query",
+    "query_holds",
+    "NTGD",
+    "TGD",
+    "NormalRule",
+    "skolemize_ntgd",
+    "skolemize_program",
+    "Substitution",
+    "match",
+    "match_atoms",
+    "unify",
+    "Constant",
+    "FunctionTerm",
+    "Null",
+    "Term",
+    "Variable",
+    "parse_atom",
+    "parse_database",
+    "parse_literal",
+    "parse_normal_program",
+    "parse_normal_rule",
+    "parse_ntgd",
+    "parse_program",
+    "parse_query",
+    "parse_term",
+]

@@ -1,0 +1,60 @@
+"""Normal-logic-program substrate: grounding, three-valued interpretations,
+unfounded sets, the classical well-founded semantics, stratified (perfect)
+semantics and stable models.
+
+This package implements Sec. 2.2 and 2.6 of the paper for *finite ground*
+programs; the Datalog± layer (:mod:`repro.core`) reduces query answering over
+infinite Skolemised programs to computations on finite ground programs
+produced from chase segments.
+"""
+
+from .fitting import fitting_operator, kripke_kleene_model
+from .grounding import GroundProgram, ground_over_atoms, relevant_grounding
+from .herbrand import herbrand_base, herbrand_base_of_program, herbrand_universe
+from .interpretation import Interpretation, TruthValue
+from .stable import is_stable_model, stable_models
+from .stratification import (
+    PerfectModel,
+    dependency_graph,
+    is_stratified,
+    perfect_model,
+    stratify,
+)
+from .unfounded import greatest_unfounded_set, is_unfounded_set, possibly_true_atoms
+from .wfs import (
+    WellFoundedModel,
+    least_model_positive,
+    tp_operator,
+    well_founded_model,
+    well_founded_model_alternating,
+    wp_operator,
+)
+
+__all__ = [
+    "fitting_operator",
+    "kripke_kleene_model",
+    "GroundProgram",
+    "ground_over_atoms",
+    "relevant_grounding",
+    "herbrand_base",
+    "herbrand_base_of_program",
+    "herbrand_universe",
+    "Interpretation",
+    "TruthValue",
+    "is_stable_model",
+    "stable_models",
+    "PerfectModel",
+    "dependency_graph",
+    "is_stratified",
+    "perfect_model",
+    "stratify",
+    "greatest_unfounded_set",
+    "is_unfounded_set",
+    "possibly_true_atoms",
+    "WellFoundedModel",
+    "least_model_positive",
+    "tp_operator",
+    "well_founded_model",
+    "well_founded_model_alternating",
+    "wp_operator",
+]

@@ -1,0 +1,252 @@
+"""Grounding of normal logic programs (Sec. 2.2: ``ground(P)``).
+
+The semantics of a normal program is defined on its grounding.  Materialising
+the full grounding over the Herbrand base is hopeless in general (and
+impossible with function symbols), so this module implements *relevant
+grounding*: only rule instances whose positive body atoms are potentially
+derivable are produced.  This is the standard "intelligent grounding" used by
+Datalog/ASP systems and it is sound for the well-founded semantics because an
+atom with no potentially-applicable rule is unfounded anyway.
+
+Two entry points:
+
+* :func:`relevant_grounding` — iterate rule application (ignoring negative
+  bodies) from the program's facts to a fixpoint, producing a
+  :class:`GroundProgram`.  Terminates for function-free programs; a round /
+  atom budget guards the function-symbol case.
+* :func:`ground_over_atoms` — ground the rules of a program over a *fixed*
+  set of candidate atoms (no fixpoint).  The Datalog± engine uses this to turn
+  a finite chase segment into a finite ground program.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from ..exceptions import GroundingError
+from ..lang.atoms import Atom
+from ..lang.program import NormalProgram
+from ..lang.rules import NormalRule
+from ..lang.substitution import Substitution, match
+
+__all__ = ["GroundProgram", "relevant_grounding", "ground_over_atoms", "ground_rule_instances"]
+
+
+class GroundProgram:
+    """A finite ground normal program with the indexes the WFS computation needs.
+
+    The program is stored as a list of ground :class:`NormalRule`; rules are
+    indexed by their head atom, and the set of all atoms occurring anywhere in
+    the program (the *relevant universe*) is maintained incrementally.  Atoms
+    outside the relevant universe have no rule and are false under the WFS,
+    so the fixpoint computations never need to look beyond it.
+    """
+
+    def __init__(self, rules: Iterable[NormalRule] = ()):
+        self._rules: list[NormalRule] = []
+        self._seen: set[NormalRule] = set()
+        self._by_head: dict[Atom, list[NormalRule]] = {}
+        self._atoms: set[Atom] = set()
+        for rule in rules:
+            self.add(rule)
+
+    # -- construction -----------------------------------------------------------
+
+    def add(self, rule: NormalRule) -> None:
+        """Add a ground rule (duplicates ignored).
+
+        Raises
+        ------
+        GroundingError
+            If the rule is not ground.
+        """
+        if not rule.is_ground():
+            raise GroundingError(f"GroundProgram only accepts ground rules, got {rule}")
+        if rule in self._seen:
+            return
+        self._seen.add(rule)
+        self._rules.append(rule)
+        self._by_head.setdefault(rule.head, []).append(rule)
+        self._atoms.add(rule.head)
+        self._atoms.update(rule.body_pos)
+        self._atoms.update(rule.body_neg)
+
+    def update(self, rules: Iterable[NormalRule]) -> None:
+        """Add every rule of *rules*."""
+        for rule in rules:
+            self.add(rule)
+
+    # -- access -------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[NormalRule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, rule: NormalRule) -> bool:
+        return rule in self._seen
+
+    def rules(self) -> tuple[NormalRule, ...]:
+        """All ground rules, in insertion order."""
+        return tuple(self._rules)
+
+    def rules_with_head(self, atom: Atom) -> Sequence[NormalRule]:
+        """All rules whose head is exactly *atom*."""
+        return self._by_head.get(atom, ())
+
+    def head_atoms(self) -> set[Atom]:
+        """Atoms that occur as the head of at least one rule."""
+        return set(self._by_head)
+
+    def atoms(self) -> frozenset[Atom]:
+        """The relevant universe: every atom occurring in some rule."""
+        return frozenset(self._atoms)
+
+    def facts(self) -> list[Atom]:
+        """Heads of rules with empty bodies."""
+        return [r.head for r in self._rules if r.is_fact()]
+
+    def is_positive(self) -> bool:
+        """``True`` iff no rule has a negative body."""
+        return all(r.is_positive() for r in self._rules)
+
+    def positive_part(self) -> "GroundProgram":
+        """The ground program with all negative body literals removed."""
+        return GroundProgram(r.positive_part() for r in self._rules)
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self._rules)
+
+    def __repr__(self) -> str:
+        return f"GroundProgram({len(self._rules)} rules, {len(self._atoms)} atoms)"
+
+
+def ground_rule_instances(
+    rule: NormalRule,
+    atom_index: Mapping[str, Sequence[Atom]],
+    *,
+    require_ground: bool = True,
+) -> Iterator[NormalRule]:
+    """Enumerate ground instances of *rule* over the given candidate atoms.
+
+    Every positive body atom must match an atom of ``atom_index`` (a mapping
+    from predicate name to candidate atoms).  Safety of the rule guarantees
+    that the resulting head and negative body are ground.
+    """
+    if rule.is_fact():
+        if rule.is_ground():
+            yield rule
+        return
+    substitutions = _match_body(list(rule.body_pos), atom_index, Substitution.empty())
+    for subst in substitutions:
+        head = subst.apply_atom(rule.head)
+        body_pos = tuple(subst.apply_atom(a) for a in rule.body_pos)
+        body_neg = tuple(subst.apply_atom(a) for a in rule.body_neg)
+        instance = NormalRule(head, body_pos, body_neg)
+        if require_ground and not instance.is_ground():
+            continue
+        yield instance
+
+
+def _match_body(
+    patterns: list[Atom],
+    atom_index: Mapping[str, Sequence[Atom]],
+    subst: Substitution,
+) -> Iterator[Substitution]:
+    """Enumerate substitutions matching every pattern against the candidate atoms."""
+    if not patterns:
+        yield subst
+        return
+    first, rest = patterns[0], patterns[1:]
+    for candidate in atom_index.get(first.predicate, ()):  # pragma: no branch
+        extended = match(first, candidate, subst)
+        if extended is not None:
+            yield from _match_body(rest, atom_index, extended)
+
+
+def _index_atoms(atoms: Iterable[Atom]) -> dict[str, list[Atom]]:
+    """Group atoms by predicate name."""
+    index: dict[str, list[Atom]] = {}
+    for atom in atoms:
+        index.setdefault(atom.predicate, []).append(atom)
+    return index
+
+
+def ground_over_atoms(
+    program: NormalProgram | Iterable[NormalRule],
+    atoms: Iterable[Atom],
+) -> GroundProgram:
+    """Ground every rule of *program* over the fixed candidate atom set *atoms*.
+
+    No fixpoint is computed: a rule instance is produced iff each of its
+    positive body atoms occurs in *atoms*.  Ground facts of the program are
+    always included.
+    """
+    index = _index_atoms(atoms)
+    ground = GroundProgram()
+    for rule in program:
+        for instance in ground_rule_instances(rule, index):
+            ground.add(instance)
+    return ground
+
+
+def relevant_grounding(
+    program: NormalProgram | Iterable[NormalRule],
+    extra_atoms: Iterable[Atom] = (),
+    *,
+    max_rounds: Optional[int] = None,
+    max_atoms: Optional[int] = None,
+) -> GroundProgram:
+    """Relevant (intelligent) grounding of a normal program.
+
+    Starting from the program's ground facts plus *extra_atoms*, rules are
+    instantiated over the atoms derived so far (treating negative bodies as
+    satisfiable) and their head atoms are added to the candidate set, until a
+    fixpoint is reached.  The result contains exactly the rule instances whose
+    positive bodies are potentially derivable, which preserves the WFS (and
+    the stable and stratified semantics) of the full grounding.
+
+    Parameters
+    ----------
+    program:
+        The normal program to ground.
+    extra_atoms:
+        Additional ground atoms treated as potentially true (e.g. a database).
+    max_rounds, max_atoms:
+        Safety budgets for programs with function symbols, whose relevant
+        grounding may be infinite.  Exceeding a budget raises
+        :class:`GroundingError`.
+    """
+    rules = list(program)
+    candidates: set[Atom] = set(extra_atoms)
+    ground = GroundProgram()
+    for rule in rules:
+        if rule.is_fact() and rule.is_ground():
+            ground.add(rule)
+            candidates.add(rule.head)
+
+    proper_rules = [r for r in rules if not r.is_fact()]
+    rounds = 0
+    changed = True
+    while changed:
+        changed = False
+        rounds += 1
+        if max_rounds is not None and rounds > max_rounds:
+            raise GroundingError(
+                f"relevant grounding did not converge within {max_rounds} rounds "
+                "(the program probably has function symbols); use a budget or the chase engine"
+            )
+        index = _index_atoms(candidates)
+        for rule in proper_rules:
+            for instance in ground_rule_instances(rule, index):
+                if instance not in ground:
+                    ground.add(instance)
+                    if instance.head not in candidates:
+                        candidates.add(instance.head)
+                        changed = True
+        if max_atoms is not None and len(candidates) > max_atoms:
+            raise GroundingError(
+                f"relevant grounding exceeded the atom budget of {max_atoms}"
+            )
+    return ground

@@ -1,0 +1,129 @@
+"""Greatest unfounded sets (Sec. 2.6 of the paper).
+
+A set ``U ⊆ HB_P`` is an *unfounded set* of ``P`` relative to an
+interpretation ``I`` iff for every atom ``a ∈ U`` and every rule
+``r ∈ ground(P)`` with head ``a``, either
+
+* (i) ``¬b ∈ I ∪ ¬.U`` for some positive body atom ``b``, or
+* (ii) ``b ∈ I`` for some negative body atom ``b``.
+
+The union of unfounded sets is unfounded, so a greatest unfounded set
+``U_P(I)`` exists.  We compute it by the standard complement construction:
+the atoms *not* in ``U_P(I)`` are exactly those with a "potentially usable"
+derivation, i.e. the least fixpoint of the operator that fires a rule whose
+positive body atoms are all potentially derivable and not false in ``I`` and
+whose negative body atoms are all not true in ``I``.  ``U_P(I)`` is then the
+relevant universe minus that least fixpoint.
+
+Only atoms of the ground program's relevant universe are ever returned:
+every atom outside it is trivially unfounded (it heads no rule), and callers
+(the W_P iteration, the Datalog± engine) treat such atoms as false by default.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..lang.atoms import Atom
+from .grounding import GroundProgram
+from .interpretation import Interpretation
+
+__all__ = ["greatest_unfounded_set", "is_unfounded_set", "possibly_true_atoms"]
+
+
+def possibly_true_atoms(
+    program: GroundProgram,
+    interpretation: Interpretation,
+    *,
+    universe: Optional[Iterable[Atom]] = None,
+) -> set[Atom]:
+    """The atoms with a potentially usable derivation w.r.t. *interpretation*.
+
+    An atom is *possibly true* iff some rule with that head has (a) every
+    positive body atom possibly true and not false in ``I`` and (b) every
+    negative body atom not true in ``I``.  This is the complement (inside the
+    relevant universe) of the greatest unfounded set.
+    """
+    possibly: set[Atom] = set()
+    # Iterate to a least fixpoint.  A worklist over rules indexed by their
+    # positive body atoms would be asymptotically better; the simple loop is
+    # fine for the program sizes the tests and benchmarks use, and is easier
+    # to audit against the definition.
+    changed = True
+    rules = program.rules()
+    while changed:
+        changed = False
+        for rule in rules:
+            if rule.head in possibly:
+                continue
+            if _rule_possibly_fires(rule, interpretation, possibly):
+                possibly.add(rule.head)
+                changed = True
+    return possibly
+
+
+def _rule_possibly_fires(rule, interpretation: Interpretation, possibly: set[Atom]) -> bool:
+    """Can *rule* still fire given ``I`` and the current possibly-true set?"""
+    for body_atom in rule.body_pos:
+        if interpretation.is_false(body_atom):
+            return False
+        if body_atom not in possibly:
+            return False
+    for body_atom in rule.body_neg:
+        if interpretation.is_true(body_atom):
+            return False
+    return True
+
+
+def greatest_unfounded_set(
+    program: GroundProgram,
+    interpretation: Interpretation,
+    *,
+    universe: Optional[Iterable[Atom]] = None,
+) -> set[Atom]:
+    """The greatest unfounded set ``U_P(I)`` restricted to the relevant universe.
+
+    Parameters
+    ----------
+    program:
+        The finite ground program.
+    interpretation:
+        The current partial interpretation ``I``.
+    universe:
+        The atom universe to consider; defaults to the program's relevant
+        universe (every atom occurring in some rule).  Atoms outside the
+        program's relevant universe are unfounded regardless, so callers that
+        pass a larger universe simply get those extra atoms included.
+    """
+    atom_universe = set(universe) if universe is not None else set(program.atoms())
+    possibly = possibly_true_atoms(program, interpretation)
+    return {a for a in atom_universe if a not in possibly}
+
+
+def is_unfounded_set(
+    candidate: Iterable[Atom],
+    program: GroundProgram,
+    interpretation: Interpretation,
+) -> bool:
+    """Check the unfounded-set conditions (i)/(ii) for an explicit candidate set.
+
+    Used by tests and by the property-based suite to validate
+    :func:`greatest_unfounded_set` against the paper's definition.
+    """
+    unfounded = set(candidate)
+    for atom in unfounded:
+        for rule in program.rules_with_head(atom):
+            if not _rule_blocked(rule, interpretation, unfounded):
+                return False
+    return True
+
+
+def _rule_blocked(rule, interpretation: Interpretation, unfounded: set[Atom]) -> bool:
+    """Is *rule* blocked in the sense of conditions (i)/(ii) of the definition?"""
+    for body_atom in rule.body_pos:
+        if interpretation.is_false(body_atom) or body_atom in unfounded:
+            return True
+    for body_atom in rule.body_neg:
+        if interpretation.is_true(body_atom):
+            return True
+    return False

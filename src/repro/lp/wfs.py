@@ -1,0 +1,247 @@
+"""The well-founded semantics of finite ground normal programs (Sec. 2.6).
+
+Two equivalent constructions are implemented and cross-checked by the tests:
+
+* :func:`well_founded_model` — the paper's definition: iterate
+  ``W_P(I) = T_P(I) ∪ ¬.U_P(I)`` from the empty interpretation to the least
+  fixpoint, where ``T_P`` is the immediate-consequence operator and ``U_P``
+  the greatest unfounded set (module :mod:`repro.lp.unfounded`).
+* :func:`well_founded_model_alternating` — Van Gelder's alternating fixpoint:
+  iterate ``Γ²`` (two applications of the Gelfond–Lifschitz transform followed
+  by a least-model computation) from ``∅``; its least fixpoint gives the true
+  atoms and ``Γ`` of it the non-false atoms.
+
+Both return a :class:`WellFoundedModel`, a thin wrapper around
+:class:`~repro.lp.interpretation.Interpretation` that also knows the relevant
+atom universe so that atoms outside the ground program are reported false
+(they head no rule, hence are unfounded).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from ..lang.atoms import Atom, Literal
+from .grounding import GroundProgram
+from .interpretation import Interpretation
+from .unfounded import greatest_unfounded_set
+
+__all__ = [
+    "WellFoundedModel",
+    "tp_operator",
+    "wp_operator",
+    "well_founded_model",
+    "well_founded_model_alternating",
+    "least_model_positive",
+    "gelfond_lifschitz_reduct",
+]
+
+
+class WellFoundedModel:
+    """The well-founded model ``WFS(P)`` of a finite ground normal program.
+
+    Exposes the three-valued protocol (``is_true`` / ``is_false`` /
+    ``is_undefined``) used by query evaluation.  Atoms outside the relevant
+    universe of the ground program are *false*: they do not occur in any rule,
+    hence belong to every greatest unfounded set.
+    """
+
+    def __init__(
+        self,
+        interpretation: Interpretation,
+        universe: Iterable[Atom],
+        *,
+        iterations: int = 0,
+    ):
+        self._interpretation = interpretation
+        self._universe = frozenset(universe)
+        self.iterations = iterations
+
+    # -- three-valued protocol ---------------------------------------------------
+
+    def is_true(self, atom: Atom) -> bool:
+        """``True`` iff the atom is well-founded (true in the model)."""
+        return self._interpretation.is_true(atom)
+
+    def is_false(self, atom: Atom) -> bool:
+        """``True`` iff the atom is unfounded (false in the model).
+
+        Atoms outside the relevant universe are false.
+        """
+        if self._interpretation.is_false(atom):
+            return True
+        return atom not in self._universe and not self._interpretation.is_true(atom)
+
+    def is_undefined(self, atom: Atom) -> bool:
+        """``True`` iff the atom has the third truth value."""
+        return not self.is_true(atom) and not self.is_false(atom)
+
+    def true_atoms(self) -> frozenset[Atom]:
+        """The well-founded (true) atoms."""
+        return self._interpretation.true_atoms()
+
+    def false_atoms(self) -> frozenset[Atom]:
+        """The unfounded (false) atoms *inside the relevant universe*."""
+        return self._interpretation.false_atoms()
+
+    def undefined_atoms(self) -> frozenset[Atom]:
+        """The undefined atoms of the relevant universe."""
+        return frozenset(
+            a for a in self._universe if self._interpretation.is_undefined(a)
+        )
+
+    def universe(self) -> frozenset[Atom]:
+        """The relevant atom universe the model was computed over."""
+        return self._universe
+
+    def interpretation(self) -> Interpretation:
+        """The underlying consistent literal set."""
+        return self._interpretation
+
+    def holds(self, literal: Literal) -> bool:
+        """Is the ground literal a consequence under the WFS?"""
+        if literal.positive:
+            return self.is_true(literal.atom)
+        return self.is_false(literal.atom)
+
+    def literals(self) -> Iterator[Literal]:
+        """All literals of the model (restricted to the relevant universe)."""
+        return self._interpretation.literals()
+
+    def is_total(self) -> bool:
+        """``True`` iff no atom of the relevant universe is undefined."""
+        return not self.undefined_atoms()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WellFoundedModel):
+            return NotImplemented
+        return (
+            self._interpretation == other._interpretation
+            and self._universe == other._universe
+        )
+
+    def __str__(self) -> str:
+        return str(self._interpretation)
+
+    def __repr__(self) -> str:
+        return (
+            f"WellFoundedModel({len(self.true_atoms())} true, "
+            f"{len(self.false_atoms())} false, {len(self.undefined_atoms())} undefined)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The paper's operators
+# ---------------------------------------------------------------------------
+
+
+def tp_operator(program: GroundProgram, interpretation: Interpretation) -> set[Atom]:
+    """The immediate-consequence operator ``T_P(I)``.
+
+    ``T_P(I) = {H(r) | r ∈ ground(P), B⁺(r) ∪ ¬.B⁻(r) ⊆ I}``: a head is
+    derived when every positive body atom is true in ``I`` and every negative
+    body atom is false in ``I``.
+    """
+    derived: set[Atom] = set()
+    for rule in program:
+        if all(interpretation.is_true(b) for b in rule.body_pos) and all(
+            interpretation.is_false(b) for b in rule.body_neg
+        ):
+            derived.add(rule.head)
+    return derived
+
+
+def wp_operator(program: GroundProgram, interpretation: Interpretation) -> Interpretation:
+    """One application of ``W_P(I) = T_P(I) ∪ ¬.U_P(I)``."""
+    true_atoms = tp_operator(program, interpretation)
+    unfounded = greatest_unfounded_set(program, interpretation)
+    # W_P is only applied to interpretations compatible with P, for which
+    # T_P(I) and U_P(I) are disjoint; the Interpretation constructor re-checks.
+    return Interpretation(true_atoms, unfounded - true_atoms)
+
+
+def well_founded_model(program: GroundProgram) -> WellFoundedModel:
+    """``WFS(P) = lfp(W_P)`` computed by iterating ``W_P`` from ``∅``.
+
+    ``W_P`` is monotone on the consistent interpretations compatible with
+    ``P``, so the iteration from the empty interpretation reaches the least
+    fixpoint after at most ``|relevant universe|`` many steps.
+    """
+    current = Interpretation.empty()
+    iterations = 0
+    while True:
+        iterations += 1
+        nxt = wp_operator(program, current)
+        if nxt == current:
+            break
+        current = nxt
+    return WellFoundedModel(current, program.atoms(), iterations=iterations)
+
+
+# ---------------------------------------------------------------------------
+# Alternating fixpoint (Van Gelder 1989) — used as an independent cross-check
+# ---------------------------------------------------------------------------
+
+
+def least_model_positive(program: GroundProgram | Iterable, *, start: Iterable[Atom] = ()) -> set[Atom]:
+    """Least Herbrand model of a ground *positive* program (fixpoint of T_P).
+
+    *program* may be a :class:`GroundProgram` or any iterable of ground rules
+    whose negative bodies are empty (negative bodies, if present, are ignored —
+    callers pass reducts, which are positive by construction).
+    """
+    rules = list(program)
+    model: set[Atom] = set(start)
+    changed = True
+    while changed:
+        changed = False
+        for rule in rules:
+            if rule.head in model:
+                continue
+            if all(b in model for b in rule.body_pos):
+                model.add(rule.head)
+                changed = True
+    return model
+
+
+def gelfond_lifschitz_reduct(program: GroundProgram, assumed_true: set[Atom]) -> list:
+    """The Gelfond–Lifschitz reduct ``P^J`` w.r.t. the atom set *assumed_true*.
+
+    Rules with a negative body atom in *assumed_true* are deleted; the
+    remaining rules lose their negative bodies.
+    """
+    reduct = []
+    for rule in program:
+        if any(b in assumed_true for b in rule.body_neg):
+            continue
+        reduct.append(rule.positive_part())
+    return reduct
+
+
+def _gamma(program: GroundProgram, assumed_true: set[Atom]) -> set[Atom]:
+    """``Γ(J)``: least model of the reduct ``P^J``."""
+    return least_model_positive(gelfond_lifschitz_reduct(program, assumed_true))
+
+
+def well_founded_model_alternating(program: GroundProgram) -> WellFoundedModel:
+    """The WFS via Van Gelder's alternating fixpoint.
+
+    The sequence ``I₀ = ∅``, ``I_{k+1} = Γ(Γ(I_k))`` is increasing and its
+    limit ``I*`` is the set of true atoms of the WFS; ``Γ(I*)`` is the set of
+    atoms that are not false.  Equivalence with the unfounded-set construction
+    is a classical result (Van Gelder 1989) and is asserted by the tests.
+    """
+    universe = program.atoms()
+    current: set[Atom] = set()
+    iterations = 0
+    while True:
+        iterations += 1
+        upper = _gamma(program, current)
+        nxt = _gamma(program, upper)
+        if nxt == current:
+            break
+        current = nxt
+    not_false = _gamma(program, current)
+    false_atoms = {a for a in universe if a not in not_false}
+    interpretation = Interpretation(current, false_atoms)
+    return WellFoundedModel(interpretation, universe, iterations=iterations)

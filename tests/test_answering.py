@@ -1,0 +1,77 @@
+"""Tests for the one-shot answering helpers (:mod:`repro.core.answering`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.atoms import Atom
+from repro.lang.parser import parse_atom, parse_program, parse_query
+from repro.lang.queries import ConjunctiveQuery
+from repro.lang.terms import Constant, Variable
+from repro.core.answering import answer_query, certain_answers, holds_under_wfs
+from repro.core.engine import WellFoundedEngine
+
+LITERATURE = """
+conferencePaper(X) -> article(X).
+scientist(X) -> exists Y isAuthorOf(X, Y).
+isAuthorOf(X, Y), not retracted(Y) -> hasValidPublication(X).
+scientist(john).
+conferencePaper(pods13).
+"""
+
+
+class TestHoldsUnderWfs:
+    def test_example_1_query(self):
+        assert holds_under_wfs(LITERATURE, None, "? isAuthorOf(john, Y)")
+
+    def test_negative_query_atoms_use_well_founded_falsity(self):
+        assert holds_under_wfs(LITERATURE, None, "? isAuthorOf(john, Y), not retracted(Y)")
+
+    def test_ground_atom_queries(self):
+        assert holds_under_wfs(LITERATURE, None, parse_atom("article(pods13)"))
+        assert not holds_under_wfs(LITERATURE, None, parse_atom("article(john)"))
+
+    def test_explicit_database_argument(self):
+        program, _ = parse_program("scientist(X) -> exists Y isAuthorOf(X, Y).")
+        assert holds_under_wfs(program, "scientist(ada).", "? isAuthorOf(ada, Y)")
+
+    def test_engine_options_are_forwarded(self):
+        # A tiny max_depth still suffices here because the chase terminates.
+        assert holds_under_wfs(
+            LITERATURE, None, "? article(pods13)", initial_depth=2, max_depth=4
+        )
+
+
+class TestAnswerQuery:
+    def test_certain_answers_are_constant_tuples(self):
+        answers = answer_query(LITERATURE, None, "? article(X)")
+        assert answers == {(Constant("pods13"),)}
+
+    def test_nulls_are_filtered_unless_requested(self):
+        with_nulls = answer_query(
+            LITERATURE, None, "? isAuthorOf(john, Y)", constants_only=False
+        )
+        without_nulls = answer_query(LITERATURE, None, "? isAuthorOf(john, Y)")
+        assert without_nulls == set()
+        assert len(with_nulls) == 1
+
+    def test_answer_query_accepts_cq_objects(self):
+        query = ConjunctiveQuery(
+            (Atom("hasValidPublication", (Variable("X"),)),), (Variable("X"),)
+        )
+        answers = answer_query(LITERATURE, None, query)
+        assert answers == {(Constant("john"),)}
+
+
+class TestCertainAnswers:
+    def test_certain_answers_over_a_precomputed_model(self):
+        engine = WellFoundedEngine(LITERATURE)
+        query = ConjunctiveQuery((Atom("article", (Variable("X"),)),), (Variable("X"),))
+        assert certain_answers(engine.model(), query) == {(Constant("pods13"),)}
+
+    def test_null_answers_are_dropped(self):
+        engine = WellFoundedEngine(LITERATURE)
+        query = ConjunctiveQuery(
+            (Atom("isAuthorOf", (Constant("john"), Variable("Y"))),), (Variable("Y"),)
+        )
+        assert certain_answers(engine.model(), query) == set()

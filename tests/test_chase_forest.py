@@ -1,0 +1,190 @@
+"""Tests for the guarded chase forest data structure and engine
+(:mod:`repro.chase.forest`, :mod:`repro.chase.engine`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GroundingError, NotGuardedError
+from repro.lang.atoms import Atom
+from repro.lang.parser import parse_atom, parse_program
+from repro.lang.program import Database, NormalProgram
+from repro.lang.rules import NormalRule
+from repro.lang.skolem import skolemize_program
+from repro.lang.terms import Constant, FunctionTerm, Variable
+from repro.chase.engine import GuardedChaseEngine, chase_forest
+from repro.chase.forest import ChaseForest
+
+
+def literature_pieces():
+    """Example 1 of the paper: conference papers, scientists and authorship."""
+    program, database = parse_program(
+        """
+        conferencePaper(X) -> article(X).
+        scientist(X) -> exists Y isAuthorOf(X, Y).
+        isAuthorOf(X, Y) -> author(X).
+        scientist(john).
+        conferencePaper(pods13).
+        """
+    )
+    return skolemize_program(program), database
+
+
+class TestChaseForestStructure:
+    def test_roots_and_children(self):
+        forest = ChaseForest()
+        root = forest.add_root(parse_atom("p(a)"))
+        rule = NormalRule(parse_atom("q(a)"), (parse_atom("p(a)"),), ())
+        child = forest.add_child(root.node_id, parse_atom("q(a)"), rule, level=1)
+        assert root.is_root() and not child.is_root()
+        assert child.depth == 1 and child.level == 1
+        assert forest.parent(child.node_id) is root
+        assert forest.children(root.node_id) == [child]
+        assert forest.was_applied(root.node_id, rule)
+
+    def test_label_indexes(self):
+        forest = ChaseForest()
+        forest.add_root(parse_atom("p(a)"))
+        forest.add_root(parse_atom("p(b)"))
+        assert forest.has_label(parse_atom("p(a)"))
+        assert not forest.has_label(parse_atom("p(c)"))
+        assert forest.labels() == {parse_atom("p(a)"), parse_atom("p(b)")}
+        assert len(forest.nodes_with_label(parse_atom("p(a)"))) == 1
+
+    def test_negative_atoms_collects_edge_rule_hypotheses(self):
+        forest = ChaseForest()
+        root = forest.add_root(parse_atom("p(a)"))
+        rule = NormalRule(parse_atom("q(a)"), (parse_atom("p(a)"),), (parse_atom("blocked(a)"),))
+        forest.add_child(root.node_id, parse_atom("q(a)"), rule, level=1)
+        assert forest.negative_atoms() == {parse_atom("blocked(a)")}
+
+    def test_path_and_subtree_queries(self):
+        forest = ChaseForest()
+        root = forest.add_root(parse_atom("p(a)"))
+        rule1 = NormalRule(parse_atom("q(a)"), (parse_atom("p(a)"),), ())
+        child = forest.add_child(root.node_id, parse_atom("q(a)"), rule1, level=1)
+        rule2 = NormalRule(parse_atom("r(a)"), (parse_atom("q(a)"),), ())
+        grandchild = forest.add_child(child.node_id, parse_atom("r(a)"), rule2, level=2)
+        path = forest.path_to_root(grandchild.node_id)
+        assert [n.label for n in path] == [parse_atom("r(a)"), parse_atom("q(a)"), parse_atom("p(a)")]
+        assert forest.subtree_labels(root.node_id) == {
+            parse_atom("p(a)"),
+            parse_atom("q(a)"),
+            parse_atom("r(a)"),
+        }
+        assert forest.max_depth() == 2
+        assert forest.depth_of_atom(parse_atom("r(a)")) == 2
+        assert forest.level_of_atom(parse_atom("nothing(a)")) is None
+
+
+class TestGuardedChaseEngine:
+    def test_literature_example_terminates_and_derives_expected_atoms(self):
+        skolemized, database = literature_pieces()
+        engine = GuardedChaseEngine(skolemized, database)
+        engine.expand(5)
+        labels = engine.atoms()
+        assert parse_atom("article(pods13)") in labels
+        assert parse_atom("author(john)") in labels
+        # John authors a Skolem null.
+        author_atoms = [a for a in labels if a.predicate == "isAuthorOf"]
+        assert len(author_atoms) == 1
+        assert isinstance(author_atoms[0].args[1], FunctionTerm)
+
+    def test_depth_bound_limits_expansion(self):
+        program, database = parse_program(
+            """
+            next(X, Y) -> exists Z next(Y, Z).
+            next(a, b).
+            """
+        )
+        skolemized = skolemize_program(program)
+        shallow = GuardedChaseEngine(skolemized, database)
+        shallow.expand(2)
+        deep = GuardedChaseEngine(skolemized, database)
+        deep.expand(6)
+        assert len(deep.forest) > len(shallow.forest)
+        assert shallow.forest.max_depth() <= 2
+        assert deep.forest.max_depth() <= 6
+
+    def test_incremental_expansion_continues_from_existing_forest(self):
+        program, database = parse_program(
+            """
+            next(X, Y) -> exists Z next(Y, Z).
+            next(a, b).
+            """
+        )
+        engine = GuardedChaseEngine(skolemize_program(program), database)
+        engine.expand(2)
+        size_before = len(engine.forest)
+        changed = engine.expand(4)
+        assert changed and len(engine.forest) > size_before
+        # shrinking the bound is a no-op
+        assert engine.expand(3) is False
+
+    def test_frontier_nodes_are_at_the_depth_bound(self):
+        program, database = parse_program(
+            """
+            next(X, Y) -> exists Z next(Y, Z).
+            next(a, b).
+            """
+        )
+        engine = GuardedChaseEngine(skolemize_program(program), database)
+        engine.expand(3)
+        assert all(node.depth == 3 for node in engine.frontier_nodes())
+        assert engine.frontier_nodes()
+
+    def test_terminating_chase_has_empty_frontier_beyond_its_depth(self):
+        skolemized, database = literature_pieces()
+        engine = GuardedChaseEngine(skolemized, database)
+        engine.expand(10)
+        assert engine.frontier_nodes() == []
+
+    def test_ground_rules_are_ground_instances_of_the_program(self):
+        skolemized, database = literature_pieces()
+        engine = GuardedChaseEngine(skolemized, database)
+        engine.expand(4)
+        for rule in engine.ground_rules():
+            assert rule.is_ground()
+
+    def test_unguarded_rule_is_rejected(self):
+        unguarded = NormalProgram(
+            [
+                NormalRule(
+                    Atom("r", (Variable("X"), Variable("Y"))),
+                    (Atom("p", (Variable("X"),)), Atom("q", (Variable("Y"),))),
+                    (),
+                )
+            ]
+        )
+        with pytest.raises(NotGuardedError):
+            GuardedChaseEngine(unguarded, Database([parse_atom("p(a)")]))
+
+    def test_node_budget_is_enforced(self):
+        program, database = parse_program(
+            """
+            next(X, Y) -> exists Z next(Y, Z).
+            next(a, b).
+            """
+        )
+        engine = GuardedChaseEngine(skolemize_program(program), database, max_nodes=3)
+        with pytest.raises(GroundingError):
+            engine.expand(50)
+
+    def test_chase_forest_convenience_wrapper(self):
+        skolemized, database = literature_pieces()
+        forest = chase_forest(skolemized, database, max_depth=4)
+        assert forest.has_label(parse_atom("article(pods13)"))
+
+    def test_multiple_nodes_can_share_a_label(self, paper_example_engine):
+        # Example 6 of the paper: S(0) labels infinitely many nodes of F+(P);
+        # in the materialised segment there must be more than one.
+        forest = paper_example_engine.chase_forest()
+        assert len(forest.nodes_with_label(parse_atom("s(0)"))) > 1
+
+    def test_side_literals_of_path(self, paper_example_engine):
+        forest = paper_example_engine.chase_forest()
+        t_nodes = forest.nodes_with_label(parse_atom("t(0)"))
+        assert t_nodes
+        positive, negative = forest.side_literals_of_path(t_nodes[0].node_id)
+        # the rule deriving t(0) carries the negative hypothesis s(0)
+        assert parse_atom("s(0)") in negative

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface (:mod:`repro.cli`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_argument_parser, main
+
+LITERATURE = """
+conferencePaper(X) -> article(X).
+scientist(X) -> exists Y isAuthorOf(X, Y).
+scientist(john).
+conferencePaper(pods13).
+"""
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "literature.dlp"
+    path.write_text(LITERATURE)
+    return str(path)
+
+
+class TestArgumentParser:
+    def test_defaults(self):
+        args = build_argument_parser().parse_args(["prog.dlp"])
+        assert args.program == "prog.dlp"
+        assert args.query == [] and args.atom == []
+        assert not args.dump_model and not args.stratified
+
+    def test_repeatable_options(self):
+        args = build_argument_parser().parse_args(
+            ["prog.dlp", "--query", "? p(X)", "--query", "? q(X)", "--atom", "p(a)"]
+        )
+        assert len(args.query) == 2 and len(args.atom) == 1
+
+
+class TestMain:
+    def test_query_answering(self, program_file, capsys):
+        code = main([program_file, "--query", "? isAuthorOf(john, Y)", "--query", "? article(john)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "? isAuthorOf(john, Y) : yes" in out
+        assert "? article(john) : no" in out
+
+    def test_atom_truth_values(self, program_file, capsys):
+        code = main([program_file, "--atom", "article(pods13)", "--atom", "article(john)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "article(pods13) : true" in out
+        assert "article(john) : false" in out
+
+    def test_dump_model_and_stats(self, program_file, capsys):
+        code = main([program_file, "--dump-model", "--stats"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("# model:")
+        assert "true   article(pods13)" in out
+
+    def test_extra_database_file(self, program_file, tmp_path, capsys):
+        database = tmp_path / "extra.facts"
+        database.write_text("scientist(ada).")
+        code = main([program_file, "--database", str(database), "--query", "? isAuthorOf(ada, Y)"])
+        out = capsys.readouterr().out
+        assert code == 0 and ": yes" in out
+
+    def test_stratified_comparison_column(self, program_file, capsys):
+        code = main([program_file, "--stratified", "--query", "? article(pods13)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[stratified: yes]" in out
+
+    def test_parse_error_in_program_gives_exit_code_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.dlp"
+        bad.write_text("p(X ->")
+        code = main([str(bad), "--query", "? p(a)"])
+        err = capsys.readouterr().err
+        assert code == 2 and "error" in err
+
+    def test_bad_query_reports_error_but_keeps_going(self, program_file, capsys):
+        code = main([program_file, "--query", "??", "--query", "? article(pods13)"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "? article(pods13) : yes" in captured.out
+        assert "error in query" in captured.err
+
+    def test_missing_file_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["/nonexistent/program.dlp"])

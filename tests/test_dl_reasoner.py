@@ -1,0 +1,131 @@
+"""End-to-end ontology reasoning tests (:mod:`repro.dl.reasoner`), replaying
+the paper's Example 2 argument for the standard WFS under the UNA."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NotStratifiedError
+from repro.dl.syntax import Ontology
+from repro.dl.reasoner import OntologyReasoner
+from repro.bench.generators import employment_ontology, university_ontology
+
+
+def example2_ontology():
+    ontology = Ontology()
+    ontology.subclass(["Person", "Employed", ("not", "exists JobSeekerID")],
+                      "exists EmployeeID")
+    ontology.subclass(["Person", ("not", "Employed"), ("not", "exists EmployeeID")],
+                      "exists JobSeekerID")
+    ontology.subclass(["exists EmployeeID-", ("not", "exists JobSeekerID-")], "ValidID")
+    ontology.abox.assert_concept("Person", "a")
+    ontology.abox.assert_concept("Person", "b")
+    ontology.abox.assert_concept("Employed", "a")
+    return ontology
+
+
+class TestExample2:
+    @pytest.fixture(scope="class")
+    def reasoner(self):
+        return OntologyReasoner(example2_ontology())
+
+    def test_employed_person_gets_an_employee_id(self, reasoner):
+        assert reasoner.has_role_successor("EmployeeID", "a")
+
+    def test_unemployed_person_gets_a_job_seeker_id(self, reasoner):
+        assert reasoner.has_role_successor("JobSeekerID", "b")
+
+    def test_cross_derivations_do_not_happen(self, reasoner):
+        assert not reasoner.has_role_successor("EmployeeID", "b")
+        assert not reasoner.has_role_successor("JobSeekerID", "a")
+
+    def test_una_makes_the_employee_id_valid(self, reasoner):
+        # The paper's key point: under the UNA the Skolem null for a's employee
+        # ID differs from the null for b's job-seeker ID, so ValidID is derived
+        # for a's ID — which the equality-friendly WFS cannot conclude.
+        assert reasoner.holds("? employeeID(a, V), validID(V)")
+
+    def test_model_is_total_here(self, reasoner):
+        assert reasoner.model().undefined_atoms() == frozenset()
+
+    def test_concept_membership_api(self, reasoner):
+        assert reasoner.instance_of("Person", "a")
+        assert reasoner.concept_members("Employed") == {"a"}
+
+    def test_example_2_is_beyond_stratified_datalog_pm(self, reasoner):
+        # The two ID-assignment axioms negate each other's existential (an
+        # employee ID blocks a job-seeker ID and vice versa), so the predicate
+        # dependency graph has a cycle through negation: the stratified
+        # semantics of [1] does not apply, while the WFS handles it — exactly
+        # the gap the paper sets out to close.
+        with pytest.raises(NotStratifiedError):
+            reasoner.stratified_baseline()
+
+    def test_a_stratified_ontology_agrees_with_its_stratified_baseline(self):
+        stratified = Ontology()
+        stratified.subclass("Professor", "exists WorksFor")
+        stratified.subclass("exists Advises-", "Advised")
+        stratified.subclass(["Student", ("not", "Advised")], "exists NeedsAdvisor")
+        stratified.abox.assert_concept("Student", "sam")
+        stratified.abox.assert_concept("Professor", "ada")
+        reasoner = OntologyReasoner(stratified)
+        baseline = reasoner.stratified_baseline()
+        for query in ("? needsAdvisor(sam, V)", "? worksFor(ada, V)", "? advised(sam)"):
+            assert reasoner.holds(query) == baseline.holds(query), query
+
+
+class TestNonStratifiedOntology:
+    def test_wfs_handles_a_cycle_through_negation_that_stratification_rejects(self):
+        # Anyone not known to be covered gets an insurance contract; holders of
+        # an insurance contract are covered.  The dependency graph has a cycle
+        # through negation, so the stratified semantics of [1] rejects it; the
+        # WFS still assigns a (total, in this case) model.
+        ontology = Ontology()
+        ontology.subclass(["Person", ("not", "Covered")], "exists InsuredBy")
+        ontology.subclass("exists InsuredBy", "Covered")
+        ontology.abox.assert_concept("Person", "alice")
+        ontology.abox.assert_role("InsuredBy", "bob", "acme")
+
+        reasoner = OntologyReasoner(ontology)
+        with pytest.raises(NotStratifiedError):
+            reasoner.stratified_baseline()
+
+        assert reasoner.instance_of("Covered", "bob")
+        # alice's status is genuinely self-referential: the WFS leaves it undefined
+        model = reasoner.model()
+        from repro.lang.atoms import Atom
+        from repro.lang.terms import Constant
+
+        assert model.is_undefined(Atom("covered", (Constant("alice"),)))
+
+
+class TestGeneratedOntologies:
+    def test_employment_workload_scales_and_stays_consistent(self):
+        reasoner = OntologyReasoner(employment_ontology(12, seed=7))
+        model = reasoner.model()
+        assert model.converged
+        employed = reasoner.concept_members("Employed")
+        for person in employed:
+            assert reasoner.has_role_successor("EmployeeID", person)
+
+    def test_persons_with_asserted_jobseeker_ids_do_not_get_employee_ids(self):
+        reasoner = OntologyReasoner(
+            employment_ontology(30, employed_fraction=0.0, registered_fraction=1.0, seed=3)
+        )
+        for person in reasoner.concept_members("Person"):
+            assert not reasoner.has_role_successor("EmployeeID", person)
+
+    def test_university_ontology_reasoning(self):
+        reasoner = OntologyReasoner(university_ontology(2, 3, advised_fraction=0.0, seed=1))
+        # no student has an advisor, so every student needs one
+        assert reasoner.holds("? student(X), needsAdvisor(X, V)")
+        # professors are employees via exists WorksFor ⊑ Employee
+        assert reasoner.instance_of("Employee", "prof0")
+        # role inclusion advises ⊑ mentors has no instances here
+        assert not reasoner.holds("? mentors(X, Y)")
+
+    def test_university_ontology_with_advisors(self):
+        reasoner = OntologyReasoner(university_ontology(1, 4, advised_fraction=1.0, seed=1))
+        assert reasoner.holds("? mentors(prof0, X)")
+        assert reasoner.instance_of("Advised", "student0_0")
+        assert not reasoner.holds("? needsAdvisor(student0_0, V)")

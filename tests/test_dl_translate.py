@@ -1,0 +1,115 @@
+"""Tests for the DL-Lite → guarded normal Datalog± translation (:mod:`repro.dl.translate`)."""
+
+from __future__ import annotations
+
+from repro.lang.atoms import Atom
+from repro.lang.terms import Constant, Variable
+from repro.dl.syntax import Ontology, Role
+from repro.dl.translate import (
+    concept_predicate,
+    exists_predicate,
+    role_predicate,
+    translate_abox,
+    translate_ontology,
+    translate_tbox,
+)
+
+X, Y = Variable("X"), Variable("Y")
+
+
+def rules_by_head(program):
+    index = {}
+    for ntgd in program:
+        index.setdefault(ntgd.head.predicate, []).append(ntgd)
+    return index
+
+
+class TestPredicateNaming:
+    def test_concept_and_role_names_are_lower_camel_cased(self):
+        assert concept_predicate("Person") == "person"
+        assert role_predicate(Role("EmployeeID")) == "employeeID"
+
+    def test_exists_predicates_distinguish_direction(self):
+        assert exists_predicate(Role("R")) == "ex_r"
+        assert exists_predicate(Role("R", True)) == "ex_r_inv"
+
+
+class TestAxiomTranslation:
+    def test_atomic_inclusion(self):
+        ontology = Ontology()
+        ontology.subclass("ConferencePaper", "Article")
+        program = translate_tbox(ontology.tbox)
+        rule = list(program)[0]
+        assert rule.body_pos == (Atom("conferencePaper", (X,)),)
+        assert rule.head == Atom("article", (X,))
+
+    def test_existential_rhs_introduces_an_existential_variable(self):
+        ontology = Ontology()
+        ontology.subclass("Scientist", "exists IsAuthorOf")
+        rule = list(translate_tbox(ontology.tbox))[0]
+        assert rule.existential_variables() == {Y}
+        assert rule.head.predicate == "isAuthorOf"
+
+    def test_inverse_existential_rhs_swaps_argument_positions(self):
+        ontology = Ontology()
+        ontology.subclass("Award", "exists WonBy-")
+        rule = list(translate_tbox(ontology.tbox))[0]
+        assert rule.head == Atom("wonBy", (Y, X))
+
+    def test_existential_lhs_uses_the_role_atom_as_guard(self):
+        ontology = Ontology()
+        ontology.subclass("exists Advises-", "Advised")
+        rule = list(translate_tbox(ontology.tbox))[0]
+        assert rule.head == Atom("advised", (X,))
+        assert rule.body_pos[0].predicate == "advises"
+        assert rule.is_guarded()
+
+    def test_negated_existential_lhs_goes_through_an_auxiliary_predicate(self):
+        ontology = Ontology()
+        ontology.subclass(["Person", ("not", "exists EmployeeID")], "JobSeeker")
+        program = translate_tbox(ontology.tbox)
+        index = rules_by_head(program)
+        assert "ex_employeeID" in index  # the auxiliary definition
+        main_rule = index["jobSeeker"][0]
+        assert Atom("ex_employeeID", (X,)) in main_rule.body_neg
+
+    def test_role_inclusions(self):
+        ontology = Ontology()
+        ontology.subrole("Advises", "Mentors")
+        ontology.subrole("ParentOf", "ChildOf-")
+        program = translate_tbox(ontology.tbox)
+        heads = {rule.head for rule in program}
+        assert Atom("mentors", (X, Y)) in heads
+        assert Atom("childOf", (Y, X)) in heads
+
+    def test_example_2_translation_is_guarded_and_complete(self):
+        ontology = Ontology()
+        ontology.subclass(["Person", "Employed", ("not", "exists JobSeekerID")],
+                          "exists EmployeeID")
+        ontology.subclass(["Person", ("not", "Employed"), ("not", "exists EmployeeID")],
+                          "exists JobSeekerID")
+        ontology.subclass(["exists EmployeeID-", ("not", "exists JobSeekerID-")], "ValidID")
+        program = translate_tbox(ontology.tbox)
+        assert program.is_guarded()
+        assert not program.is_positive()
+        # 3 axiom rules + 3 auxiliary definitions (ex_jobSeekerID, ex_employeeID,
+        # ex_jobSeekerID_inv)
+        assert len(program) == 6
+
+
+class TestAboxTranslation:
+    def test_assertions_become_facts(self):
+        ontology = Ontology()
+        ontology.abox.assert_concept("Person", "a")
+        ontology.abox.assert_role("EmployeeID", "a", "id1")
+        database = translate_abox(ontology.abox)
+        assert Atom("person", (Constant("a"),)) in database
+        assert Atom("employeeID", (Constant("a"), Constant("id1"))) in database
+
+    def test_translate_ontology_returns_both_pieces(self):
+        ontology = Ontology()
+        ontology.subclass("Person", "exists Knows")
+        ontology.abox.assert_concept("Person", "a")
+        program, database = translate_ontology(ontology)
+        assert len(program) == 1 and len(database) == 1
+        assert program.is_guarded()

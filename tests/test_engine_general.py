@@ -1,0 +1,152 @@
+"""General behaviour of :class:`repro.core.engine.WellFoundedEngine` beyond the
+paper's running example: input handling, coincidence with the classical LP
+WFS on existential-free programs, convergence flags and options."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConvergenceError, NotGuardedError
+from repro.lang.atoms import Atom
+from repro.lang.parser import parse_atom, parse_program, parse_query
+from repro.lang.program import Database
+from repro.lang.terms import Constant
+from repro.lp.grounding import relevant_grounding
+from repro.lp.wfs import well_founded_model
+from repro.core.engine import WellFoundedEngine
+from repro.bench.generators import win_move_datalog_pm, win_move_game
+
+
+class TestInputHandling:
+    def test_text_facts_merge_with_explicit_database(self):
+        engine = WellFoundedEngine(
+            "scientist(X) -> exists Y isAuthorOf(X, Y).\nscientist(john).",
+            Database([parse_atom("scientist(mary)")]),
+        )
+        assert engine.holds("? isAuthorOf(john, Y)")
+        assert engine.holds("? isAuthorOf(mary, Y)")
+
+    def test_database_may_be_text_or_iterable(self):
+        program, _ = parse_program("scientist(X) -> exists Y isAuthorOf(X, Y).")
+        by_text = WellFoundedEngine(program, "scientist(john).")
+        by_iterable = WellFoundedEngine(program, [parse_atom("scientist(john)")])
+        assert by_text.holds("? isAuthorOf(john, Y)")
+        assert by_iterable.holds("? isAuthorOf(john, Y)")
+
+    def test_unguarded_program_is_rejected_by_default(self):
+        text = "p(X), q(Y) -> related(X, Y).\np(a). q(b)."
+        with pytest.raises(NotGuardedError):
+            WellFoundedEngine(text)
+
+    def test_guard_check_can_be_disabled_for_experiments(self):
+        text = "p(X), q(Y) -> related(X, Y).\np(a). q(b)."
+        engine = WellFoundedEngine(text, require_guarded=False)
+        assert engine.holds("? related(a, b)")
+
+    def test_answer_rejects_queries_with_negation(self):
+        engine = WellFoundedEngine("p(X) -> q(X).\np(a).")
+        with pytest.raises(ValueError):
+            engine.answer("? q(X), not p(X)")
+
+
+class TestCoincidenceWithClassicalWfs:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_win_move_game_agrees_with_lp_substrate(self, seed):
+        size = 25
+        lp_model = well_founded_model(relevant_grounding(win_move_game(size, seed=seed)))
+        program, database = win_move_datalog_pm(size, seed=seed)
+        engine = WellFoundedEngine(program, database)
+        model = engine.model()
+        win_atoms = {a for a in lp_model.universe() if a.predicate == "win"}
+        for atom in win_atoms:
+            assert lp_model.is_true(atom) == model.is_true(atom), atom
+            assert lp_model.is_false(atom) == model.is_false(atom), atom
+
+    def test_datalog_program_without_negation_is_just_the_least_model(self):
+        engine = WellFoundedEngine(
+            """
+            edge(X, Y) -> path(X, Y).
+            path(X, Y), edge(Y, Z) -> path(X, Z).
+            edge(a, b). edge(b, c). edge(c, d).
+            """,
+            require_guarded=False,
+        )
+        assert engine.holds("? path(a, d)")
+        assert not engine.holds("? path(d, a)")
+        assert engine.model().converged
+
+    def test_stratified_negation_behaves_classically(self):
+        engine = WellFoundedEngine(
+            """
+            bird(X), not penguin(X) -> flies(X).
+            bird(tweety). bird(sam). penguin(sam).
+            """
+        )
+        assert engine.holds("? flies(tweety)")
+        assert not engine.holds("? flies(sam)")
+        assert engine.holds("? bird(sam), not flies(sam)")
+
+
+class TestConvergenceControls:
+    def test_non_convergence_is_flagged_not_raised_by_default(self):
+        engine = WellFoundedEngine(
+            "next(X, Y) -> exists Z next(Y, Z).\nnext(a, b).",
+            initial_depth=2,
+            depth_step=1,
+            max_depth=3,
+        )
+        # The chain program needs at least two rounds at the same frontier shape;
+        # with such a tiny budget the engine reports non-convergence gracefully.
+        model = engine.model()
+        assert model.depth == 3
+        assert isinstance(model.converged, bool)
+
+    def test_strict_mode_raises_on_non_convergence(self):
+        with pytest.raises(ConvergenceError):
+            WellFoundedEngine(
+                "next(X, Y), not stop(X) -> exists Z next(Y, Z).\nnext(a, b).",
+                initial_depth=1,
+                depth_step=1,
+                max_depth=1,
+                strict=True,
+            ).model()
+
+    def test_convergence_error_carries_the_partial_model(self):
+        try:
+            WellFoundedEngine(
+                "next(X, Y), not stop(X) -> exists Z next(Y, Z).\nnext(a, b).",
+                initial_depth=1,
+                depth_step=1,
+                max_depth=1,
+                strict=True,
+            ).model()
+        except ConvergenceError as error:
+            assert error.partial_model is not None
+            assert error.partial_model.is_true(parse_atom("next(a, b)"))
+        else:  # pragma: no cover - the call must raise
+            pytest.fail("expected ConvergenceError")
+
+    def test_model_is_cached(self):
+        engine = WellFoundedEngine("p(X) -> q(X).\np(a).")
+        assert engine.model() is engine.model()
+
+    def test_terminating_chase_converges_at_initial_depth(self):
+        engine = WellFoundedEngine(
+            "conferencePaper(X) -> article(X).\nconferencePaper(pods13)."
+        )
+        model = engine.model()
+        assert model.converged
+        assert model.is_true(parse_atom("article(pods13)"))
+
+
+class TestLocalityHelpers:
+    def test_delta_bound_for_a_two_predicate_unary_schema(self):
+        # |R| = 2, w = 1: δ = 2 · 2 · (2·1)^1 · 2^(2·2) = 128.
+        engine = WellFoundedEngine("p(X) -> q(X).\np(a).")
+        assert engine.delta() == 128
+
+    def test_query_depth_bound_scales_with_query_size(self):
+        engine = WellFoundedEngine("p(X) -> q(X).\np(a).")
+        small = engine.query_depth_bound("? q(X)")
+        large = engine.query_depth_bound("? q(X), p(X), not r(X)")
+        assert large == 3 * small

@@ -1,0 +1,80 @@
+"""Tests for Fitting's operator / the Kripke–Kleene semantics (:mod:`repro.lp.fitting`),
+including the classical containment Kripke–Kleene ⊆ WFS."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.lang.parser import parse_atom, parse_normal_program
+from repro.lp.fitting import fitting_operator, kripke_kleene_model
+from repro.lp.grounding import relevant_grounding
+from repro.lp.interpretation import Interpretation
+from repro.lp.wfs import well_founded_model
+
+from .test_properties_hypothesis import ground_programs
+
+
+def ground(text):
+    """Ground a *propositional* program verbatim (keep underivable rules too).
+
+    Like the unfounded-set tests, the Fitting/Kripke–Kleene tests reason about
+    rules whose bodies are not derivable, which relevant grounding would drop.
+    """
+    from repro.lp.grounding import GroundProgram
+
+    program = parse_normal_program(text)
+    if any(not rule.is_ground() for rule in program):
+        return relevant_grounding(program)
+    ground_program = GroundProgram()
+    for rule in program:
+        ground_program.add(rule)
+    return ground_program
+
+
+class TestFittingOperator:
+    def test_facts_become_true_immediately(self):
+        program = ground("p. p -> q.")
+        result = fitting_operator(program, Interpretation.empty())
+        assert result.is_true(parse_atom("p"))
+        assert result.is_undefined(parse_atom("q"))
+
+    def test_atoms_with_all_bodies_blocked_become_false(self):
+        program = ground("p. q, not p -> r.")
+        decided = fitting_operator(program, Interpretation([parse_atom("p")], [parse_atom("q")]))
+        assert decided.is_false(parse_atom("r"))
+
+    def test_atom_with_no_rule_becomes_false(self):
+        program = ground("q -> p.")
+        result = fitting_operator(program, Interpretation.empty())
+        assert result.is_false(parse_atom("q"))
+
+
+class TestKripkeKleeneModel:
+    def test_stratified_example(self):
+        model = kripke_kleene_model(
+            ground("bird(tweety). bird(X), not penguin(X) -> flies(X).")
+        )
+        assert model.is_true(parse_atom("flies(tweety)"))
+        assert model.is_false(parse_atom("penguin(tweety)"))
+
+    def test_positive_loop_stays_undefined_under_kripke_kleene_but_not_wfs(self):
+        # The canonical separating example: p <- p.
+        program = ground("p -> p.")
+        assert kripke_kleene_model(program).is_undefined(parse_atom("p"))
+        assert well_founded_model(program).is_false(parse_atom("p"))
+
+    def test_even_negative_loop_is_undefined_under_both(self):
+        program = ground("not q -> p. not p -> q.")
+        kk = kripke_kleene_model(program)
+        wfs = well_founded_model(program)
+        for name in ("p", "q"):
+            assert kk.is_undefined(parse_atom(name))
+            assert wfs.is_undefined(parse_atom(name))
+
+    @settings(max_examples=50, deadline=None)
+    @given(ground_programs())
+    def test_kripke_kleene_is_contained_in_the_wfs(self, program):
+        kk = kripke_kleene_model(program)
+        wfs = well_founded_model(program)
+        assert kk.true_atoms() <= wfs.true_atoms()
+        assert kk.false_atoms() <= wfs.false_atoms()

@@ -1,0 +1,130 @@
+"""Tests for forward proofs and the Ŵ_P operator (:mod:`repro.core.forward_proof`).
+
+These replay Example 6 and Example 9 of the paper on the materialised chase
+segment: the unique minimal forward proofs of ``R(0,b,c)`` and ``P(0,a)``,
+their negative hypotheses, and the fixpoint of Ŵ_P containing
+``T(0)`` / ``¬S(0)`` (the literals that need a transfinite iteration on the
+infinite forest).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.atoms import Atom
+from repro.lang.parser import parse_atom
+from repro.lang.terms import Constant, FunctionTerm
+from repro.lp.interpretation import Interpretation
+from repro.core.forward_proof import (
+    find_forward_proof,
+    provable_atoms,
+    what_fixpoint,
+    what_operator,
+)
+
+
+def skolem_chain(depth):
+    """The terms t_0=0, t_1=1, t_{i+2} = sk(0, t_i, t_{i+1}) of Example 9."""
+    terms = [Constant("0"), Constant("1")]
+    for _ in range(depth):
+        terms.append(FunctionTerm("sk_r0_W", (Constant("0"), terms[-2], terms[-1])))
+    return terms
+
+
+@pytest.fixture(scope="module")
+def example_forest(paper_example_engine):
+    return paper_example_engine.chase_forest()
+
+
+class TestForwardProofs:
+    def test_r_chain_has_a_proof_with_no_negative_hypotheses(self, example_forest):
+        terms = skolem_chain(4)
+        target = Atom("r", (Constant("0"), terms[3], terms[4]))
+        proof = find_forward_proof(example_forest, target)
+        assert proof is not None
+        assert proof.negative_hypotheses == frozenset()
+
+    def test_p_atom_proof_carries_q_hypotheses(self, example_forest):
+        terms = skolem_chain(2)
+        target = Atom("p", (Constant("0"), terms[2]))  # the paper's P(0, a)
+        proof = find_forward_proof(example_forest, target)
+        assert proof is not None
+        # N(pi') = {Q(1), Q(a)} in the paper's notation
+        hypotheses = {str(atom) for atom in proof.negative_hypotheses}
+        assert hypotheses == {"q(1)", f"q({terms[2]})"}
+
+    def test_atom_without_node_has_no_proof(self, example_forest):
+        assert find_forward_proof(example_forest, parse_atom("q(0)")) is None
+
+    def test_allowed_negatives_can_block_proofs(self, example_forest):
+        terms = skolem_chain(2)
+        target = Atom("p", (Constant("0"), terms[2]))
+        # Forbid assuming q(1) false: the only proof of P(0, a) needs it.
+        blocked = find_forward_proof(
+            example_forest, target, allowed_negatives=lambda atom: str(atom) != "q(1)"
+        )
+        assert blocked is None
+
+    def test_proofs_are_closed_under_parents(self, example_forest):
+        terms = skolem_chain(2)
+        proof = find_forward_proof(example_forest, Atom("p", (Constant("0"), terms[2])))
+        for node_id in proof.nodes:
+            parent = example_forest.node(node_id).parent
+            if parent is not None:
+                assert parent in proof.nodes
+
+
+class TestProvableAtoms:
+    def test_everything_reachable_when_all_negatives_allowed(self, example_forest):
+        atoms = provable_atoms(example_forest, lambda _a: True)
+        assert parse_atom("s(0)") in atoms
+        assert parse_atom("t(0)") in atoms
+
+    def test_nothing_negative_allowed_still_proves_the_positive_chain(self, example_forest):
+        atoms = provable_atoms(example_forest, lambda _a: False)
+        assert parse_atom("p(0,0)") in atoms
+        terms = skolem_chain(2)
+        assert Atom("r", (Constant("0"), Constant("1"), terms[2])) in atoms
+        # p(0, 1) needs ¬q(1), so it is not provable without negative assumptions
+        assert parse_atom("p(0,1)") not in atoms
+
+
+class TestWhatOperator:
+    def test_first_application_matches_example_9(self, example_forest):
+        result = what_operator(example_forest, Interpretation.empty())
+        # Ŵ_{P,1} contains the R-chain and P(0,0), plus the negations of atoms
+        # with no forward proof (e.g. q(0) does not even occur in the forest).
+        assert result.is_true(parse_atom("p(0,0)"))
+        terms = skolem_chain(1)
+        assert result.is_true(Atom("r", (Constant("0"), Constant("1"), terms[2])))
+        # p(0,1) requires the negative hypothesis ¬q(1), not yet available
+        assert not result.is_true(parse_atom("p(0,1)"))
+        # q(1) does label a node (so ¬q(1) is not yet derivable at stage 1),
+        # whereas q(0) labels no node and is immediately false — exactly the
+        # shape of Ŵ_{P,1} described in Example 9.
+        assert not result.is_false(parse_atom("q(1)"))
+        extended = what_operator(
+            example_forest, Interpretation.empty(), universe=[parse_atom("q(0)")]
+        )
+        assert extended.is_false(parse_atom("q(0)"))
+
+    def test_fixpoint_reproduces_the_papers_model(self, example_forest):
+        fixpoint = what_fixpoint(example_forest)
+        assert fixpoint.is_true(parse_atom("t(0)"))
+        assert fixpoint.is_false(parse_atom("s(0)"))
+        assert fixpoint.is_true(parse_atom("p(0,1)"))
+        assert fixpoint.is_false(parse_atom("q(1)"))
+
+    def test_fixpoint_agrees_with_the_engine_model(self, paper_example_engine, example_forest):
+        fixpoint = what_fixpoint(example_forest)
+        model = paper_example_engine.model()
+        for atom in (
+            "p(0,0)",
+            "p(0,1)",
+            "q(1)",
+            "s(0)",
+            "t(0)",
+        ):
+            parsed = parse_atom(atom)
+            assert fixpoint.is_true(parsed) == model.is_true(parsed)
+            assert fixpoint.is_false(parsed) == model.is_false(parsed)

@@ -1,0 +1,73 @@
+"""Unit tests for :mod:`repro.lp.herbrand`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GroundingError
+from repro.lang.atoms import Atom
+from repro.lang.parser import parse_normal_program
+from repro.lang.program import Schema
+from repro.lang.terms import Constant, FunctionTerm
+from repro.lp.herbrand import (
+    DEFAULT_CONSTANT,
+    herbrand_base,
+    herbrand_base_of_program,
+    herbrand_universe,
+)
+
+a, b = Constant("a"), Constant("b")
+
+
+class TestHerbrandUniverse:
+    def test_depth_zero_is_the_constants(self):
+        assert herbrand_universe([a, b]) == {a, b}
+
+    def test_empty_constant_set_uses_the_default_constant(self):
+        assert herbrand_universe([]) == {DEFAULT_CONSTANT}
+
+    def test_one_level_of_function_application(self):
+        universe = herbrand_universe([a], [("f", 1)], max_depth=1)
+        assert universe == {a, FunctionTerm("f", (a,))}
+
+    def test_two_levels_nest_terms(self):
+        universe = herbrand_universe([a], [("f", 1)], max_depth=2)
+        assert FunctionTerm("f", (FunctionTerm("f", (a,)),)) in universe
+        assert len(universe) == 3
+
+    def test_binary_functions_combine_all_arguments(self):
+        universe = herbrand_universe([a, b], [("g", 2)], max_depth=1)
+        # 2 constants + 4 pairs
+        assert len(universe) == 6
+
+    def test_negative_depth_is_rejected(self):
+        with pytest.raises(GroundingError):
+            herbrand_universe([a], max_depth=-1)
+
+
+class TestHerbrandBase:
+    def test_base_over_schema(self):
+        schema = Schema({"p": 1, "q": 2})
+        base = herbrand_base(schema, [a, b])
+        assert Atom("p", (a,)) in base and Atom("q", (a, b)) in base
+        assert len(base) == 2 + 4
+
+    def test_zero_arity_predicates(self):
+        schema = Schema({"flag": 0})
+        assert herbrand_base(schema, [a]) == {Atom("flag", ())}
+
+    def test_budget_is_enforced(self):
+        schema = Schema({"q": 3})
+        with pytest.raises(GroundingError):
+            herbrand_base(schema, [a, b], max_atoms=5)
+
+    def test_base_of_program(self):
+        program = parse_normal_program(
+            """
+            p(a). q(a, b).
+            q(X, Y) -> p(X).
+            """
+        )
+        base = herbrand_base_of_program(program)
+        assert Atom("p", (b,)) in base
+        assert Atom("q", (b, a)) in base

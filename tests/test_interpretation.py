@@ -1,0 +1,93 @@
+"""Unit tests for three-valued interpretations (:mod:`repro.lp.interpretation`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InconsistentInterpretationError
+from repro.lang.atoms import Atom, neg, pos
+from repro.lang.terms import Constant
+from repro.lp.interpretation import Interpretation, TruthValue
+
+a, b, c = (Atom("p", (Constant(x),)) for x in "abc")
+
+
+class TestConstruction:
+    def test_empty_interpretation_leaves_everything_undefined(self):
+        empty = Interpretation.empty()
+        assert empty.is_undefined(a) and not empty.is_true(a) and not empty.is_false(a)
+        assert len(empty) == 0
+
+    def test_inconsistent_construction_is_rejected(self):
+        with pytest.raises(InconsistentInterpretationError):
+            Interpretation([a], [a])
+
+    def test_from_literals(self):
+        interp = Interpretation.from_literals([pos(a), neg(b)])
+        assert interp.is_true(a) and interp.is_false(b) and interp.is_undefined(c)
+
+    def test_copy_is_independent(self):
+        interp = Interpretation([a])
+        clone = interp.copy()
+        clone.add_true(b)
+        assert interp.is_undefined(b) and clone.is_true(b)
+
+
+class TestMembership:
+    def test_truth_values(self):
+        interp = Interpretation([a], [b])
+        assert interp.value(a) == TruthValue.TRUE
+        assert interp.value(b) == TruthValue.FALSE
+        assert interp.value(c) == TruthValue.UNDEFINED
+
+    def test_holds_on_literals(self):
+        interp = Interpretation([a], [b])
+        assert interp.holds(pos(a)) and interp.holds(neg(b))
+        assert not interp.holds(neg(a)) and not interp.holds(pos(b))
+        assert not interp.holds(pos(c)) and not interp.holds(neg(c))
+
+    def test_contains_uses_literal_satisfaction(self):
+        interp = Interpretation([a], [b])
+        assert pos(a) in interp and neg(b) in interp and pos(c) not in interp
+
+
+class TestMutationAndAlgebra:
+    def test_add_true_then_false_conflicts(self):
+        interp = Interpretation()
+        interp.add_true(a)
+        with pytest.raises(InconsistentInterpretationError):
+            interp.add_false(a)
+
+    def test_add_literal(self):
+        interp = Interpretation()
+        interp.add_literal(neg(a))
+        assert interp.is_false(a)
+
+    def test_union_and_subset(self):
+        small = Interpretation([a])
+        large = Interpretation([a], [b])
+        assert small.issubset(large) and small <= large
+        assert not large.issubset(small)
+        union = small.union(Interpretation([], [b]))
+        assert union == large
+
+    def test_union_conflict_is_rejected(self):
+        with pytest.raises(InconsistentInterpretationError):
+            Interpretation([a]).union(Interpretation([], [a]))
+
+    def test_equality_and_hash(self):
+        assert Interpretation([a], [b]) == Interpretation([a], [b])
+        assert Interpretation([a]) != Interpretation([b])
+        assert hash(Interpretation([a])) == hash(Interpretation([a]))
+
+    def test_restriction_and_totality(self):
+        interp = Interpretation([a], [b])
+        restricted = interp.restricted_to([a, c])
+        assert restricted.is_true(a) and restricted.is_undefined(b)
+        assert interp.is_total_on([a, b])
+        assert not interp.is_total_on([a, b, c])
+
+    def test_literal_iteration(self):
+        interp = Interpretation([a], [b])
+        assert set(interp.literals()) == {pos(a), neg(b)}
+        assert interp.defined_atoms() == {a, b}

@@ -1,0 +1,49 @@
+"""Tests for the locality bound δ (:mod:`repro.core.locality`, Prop. 12)."""
+
+from __future__ import annotations
+
+from repro.lang.parser import parse_program, parse_query
+from repro.lang.program import Schema
+from repro.core.locality import delta_bound, query_depth_bound, type_count_bound
+
+
+class TestDeltaBound:
+    def test_formula_for_a_tiny_schema(self):
+        # |R| = 1, w = 1: δ = 2 · 1 · 2^1 · 2^(1·2) = 2 · 2 · 4 = 16
+        schema = Schema({"p": 1})
+        assert type_count_bound(schema) == 1 * 2 * 2**2
+        assert delta_bound(schema) == 2 * type_count_bound(schema)
+
+    def test_monotone_in_schema_size_and_arity(self):
+        small = delta_bound(Schema({"p": 1}))
+        more_predicates = delta_bound(Schema({"p": 1, "q": 1}))
+        higher_arity = delta_bound(Schema({"p": 2}))
+        assert small < more_predicates
+        assert small < higher_arity
+
+    def test_accepts_a_program_directly(self):
+        program, _ = parse_program("r(X, Y) -> exists Z r(Y, Z).")
+        assert delta_bound(program) == delta_bound(Schema({"r": 2}))
+
+    def test_bound_is_astronomical_for_the_paper_example(self):
+        program, _ = parse_program(
+            """
+            r(X,Y,Z) -> exists W r(X,Z,W).
+            r(X,Y,Z), not p(X,Y) -> q(Z).
+            """
+        )
+        # w = 3, |R| = 3: the bound dwarfs any practical chase depth, which is
+        # why the engine uses the type-repetition test instead.
+        assert delta_bound(program) > 10**50
+
+
+class TestQueryDepthBound:
+    def test_scales_linearly_with_query_size(self):
+        schema = Schema({"p": 1, "q": 1})
+        single = query_depth_bound(parse_query("? p(X)"), schema)
+        double = query_depth_bound(parse_query("? p(X), not q(X)"), schema)
+        assert double == 2 * single
+
+    def test_positive_query_bound(self):
+        schema = Schema({"p": 1})
+        assert query_depth_bound(parse_query("? p(X)"), schema) == delta_bound(schema)

@@ -1,0 +1,127 @@
+"""Unit tests for :mod:`repro.lang.program` (databases, schemas, programs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import IllFormedRuleError, NotGuardedError
+from repro.lang.atoms import Atom
+from repro.lang.program import Database, DatalogPMProgram, NormalProgram, Schema
+from repro.lang.rules import NTGD, NormalRule
+from repro.lang.terms import Constant, FunctionTerm, Variable
+
+X, Y = Variable("X"), Variable("Y")
+a, b = Constant("a"), Constant("b")
+
+
+class TestDatabase:
+    def test_add_and_membership(self):
+        database = Database([Atom("p", (a,))])
+        assert Atom("p", (a,)) in database
+        assert Atom("p", (b,)) not in database
+        assert len(database) == 1
+
+    def test_duplicates_are_ignored(self):
+        database = Database([Atom("p", (a,)), Atom("p", (a,))])
+        assert len(database) == 1
+
+    def test_non_ground_atoms_are_rejected(self):
+        with pytest.raises(IllFormedRuleError):
+            Database([Atom("p", (X,))])
+
+    def test_nulls_rejected_by_default_but_allowed_on_request(self):
+        null_atom = Atom("p", (FunctionTerm("n", ()),))
+        with pytest.raises(IllFormedRuleError):
+            Database([null_atom])
+        assert null_atom in Database([null_atom], allow_nulls=True)
+
+    def test_predicate_index_and_constants(self):
+        database = Database([Atom("p", (a,)), Atom("q", (a, b))])
+        assert database.with_predicate("p") == {Atom("p", (a,))}
+        assert database.predicates() == {"p", "q"}
+        assert database.constants() == {a, b}
+
+    def test_copy_is_independent(self):
+        database = Database([Atom("p", (a,))])
+        clone = database.copy()
+        clone.add(Atom("p", (b,)))
+        assert len(database) == 1 and len(clone) == 2
+
+    def test_equality_with_sets(self):
+        database = Database([Atom("p", (a,))])
+        assert database == {Atom("p", (a,))}
+
+
+class TestSchema:
+    def test_from_atoms_infers_arities(self):
+        schema = Schema.from_atoms([Atom("p", (a,)), Atom("q", (a, b))])
+        assert schema.arity("p") == 1 and schema.arity("q") == 2
+        assert schema.max_arity() == 2
+        assert schema.predicates() == {"p", "q"}
+
+    def test_inconsistent_arities_are_rejected(self):
+        with pytest.raises(IllFormedRuleError):
+            Schema.from_atoms([Atom("p", (a,)), Atom("p", (a, b))])
+
+    def test_from_program_and_database(self):
+        program = DatalogPMProgram([NTGD((Atom("r", (X, Y)),), Atom("s", (X,)))])
+        database = Database([Atom("t", (a, b))])
+        schema = Schema.from_program_and_database(program, database)
+        assert schema.predicates() == {"r", "s", "t"}
+
+
+class TestNormalProgram:
+    def test_insertion_order_and_deduplication(self):
+        rule = NormalRule(Atom("p", (X,)), (Atom("q", (X,)),), ())
+        program = NormalProgram([rule, rule])
+        assert len(program) == 1 and program.rules() == (rule,)
+
+    def test_facts_and_proper_rules(self):
+        fact = NormalRule(Atom("q", (a,)))
+        rule = NormalRule(Atom("p", (X,)), (Atom("q", (X,)),), ())
+        program = NormalProgram([fact, rule])
+        assert program.facts() == [fact]
+        assert program.proper_rules() == [rule]
+
+    def test_positive_part(self):
+        rule = NormalRule(Atom("p", (X,)), (Atom("q", (X,)),), (Atom("r", (X,)),))
+        program = NormalProgram([rule])
+        assert not program.is_positive()
+        assert program.positive_part().is_positive()
+
+    def test_signature_helpers(self):
+        head = Atom("p", (FunctionTerm("f", (X,)),))
+        program = NormalProgram(
+            [NormalRule(head, (Atom("q", (X, a)),), ()), NormalRule(Atom("q", (a, b)))]
+        )
+        assert program.predicates() == {"p", "q"}
+        assert program.constants() == {a, b}
+        assert program.function_symbols() == {("f", 1)}
+        assert program.schema().arity("q") == 2
+
+
+class TestDatalogPMProgram:
+    def test_guardedness_checks(self):
+        guarded = DatalogPMProgram([NTGD((Atom("r", (X, Y)),), Atom("s", (X,)))])
+        assert guarded.is_guarded()
+        guarded.require_guarded()
+
+        unguarded = DatalogPMProgram(
+            [NTGD((Atom("p", (X,)), Atom("q", (Y,))), Atom("r", (X, Y)))]
+        )
+        assert not unguarded.is_guarded()
+        with pytest.raises(NotGuardedError):
+            unguarded.require_guarded()
+
+    def test_positive_part_and_max_arity(self):
+        program = DatalogPMProgram(
+            [NTGD((Atom("r", (X, Y)),), Atom("s", (X,)), (Atom("t", (X,)),))]
+        )
+        assert not program.is_positive()
+        assert program.positive_part().is_positive()
+        assert program.max_arity() == 2
+
+    def test_schema_includes_database(self):
+        program = DatalogPMProgram([NTGD((Atom("r", (X, Y)),), Atom("s", (X,)))])
+        schema = program.schema(Database([Atom("u", (a,))]))
+        assert "u" in schema

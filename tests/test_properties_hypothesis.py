@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) for the core data structures and the WFS.
+
+The invariants checked here are the ones the rest of the library leans on:
+
+* substitution application is compositional and the identity on ground terms;
+* matching produces substitutions that actually reproduce the target atom;
+* the canonical type key is invariant under renaming of nulls;
+* for random finite ground normal programs, the well-founded model is
+  consistent, its two constructions (unfounded sets vs. alternating fixpoint)
+  agree, it approximates every stable model, and it is total whenever the
+  program happens to be stratified.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.atoms import Atom, Literal
+from repro.lang.rules import NormalRule
+from repro.lang.substitution import Substitution, match
+from repro.lang.terms import Constant, FunctionTerm, Variable
+from repro.lp.grounding import GroundProgram
+from repro.lp.stable import is_stable_model, stable_models
+from repro.lp.stratification import is_stratified
+from repro.lp.unfounded import greatest_unfounded_set, is_unfounded_set
+from repro.lp.interpretation import Interpretation
+from repro.lp.wfs import well_founded_model, well_founded_model_alternating
+from repro.chase.types import canonical_type_key
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+constants = st.sampled_from([Constant(name) for name in "abcde"])
+variables = st.sampled_from([Variable(name) for name in ("X", "Y", "Z")])
+
+
+def terms(max_depth=2):
+    return st.recursive(
+        constants | variables,
+        lambda children: st.builds(
+            FunctionTerm,
+            st.sampled_from(["f", "g"]),
+            st.lists(children, min_size=1, max_size=2).map(tuple),
+        ),
+        max_leaves=4,
+    )
+
+
+ground_terms = st.recursive(
+    constants,
+    lambda children: st.builds(
+        FunctionTerm,
+        st.sampled_from(["f", "g"]),
+        st.lists(children, min_size=1, max_size=2).map(tuple),
+    ),
+    max_leaves=4,
+)
+
+atoms = st.builds(
+    Atom,
+    st.sampled_from(["p", "q", "r"]),
+    st.lists(terms(), min_size=0, max_size=2).map(tuple),
+)
+
+ground_atoms = st.builds(
+    Atom,
+    st.sampled_from(["p", "q", "r"]),
+    st.lists(ground_terms, min_size=0, max_size=2).map(tuple),
+)
+
+#: Propositional atoms used to build random ground normal programs.
+prop_atoms = st.sampled_from([Atom(name, ()) for name in "abcdefg"])
+
+
+@st.composite
+def ground_programs(draw):
+    """Random small ground (propositional) normal programs."""
+    num_rules = draw(st.integers(min_value=1, max_value=8))
+    rules = []
+    for _ in range(num_rules):
+        head = draw(prop_atoms)
+        body_pos = tuple(draw(st.lists(prop_atoms, max_size=2)))
+        body_neg = tuple(draw(st.lists(prop_atoms, max_size=2)))
+        rules.append(NormalRule(head, body_pos, body_neg))
+    num_facts = draw(st.integers(min_value=0, max_value=3))
+    for _ in range(num_facts):
+        rules.append(NormalRule(draw(prop_atoms)))
+    return GroundProgram(rules)
+
+
+# ---------------------------------------------------------------------------
+# Substitutions and matching
+# ---------------------------------------------------------------------------
+
+
+class TestSubstitutionProperties:
+    @given(ground_terms)
+    def test_substitution_is_identity_on_ground_terms(self, term):
+        assert Substitution({Variable("X"): Constant("a")}).apply_term(term) == term
+
+    @given(terms(), st.sampled_from([Constant("a"), Constant("b")]))
+    def test_composition_agrees_with_sequential_application(self, term, image):
+        first = Substitution({Variable("X"): Variable("Y")})
+        second = Substitution({Variable("Y"): image})
+        assert first.compose(second).apply_term(term) == second.apply_term(
+            first.apply_term(term)
+        )
+
+    @given(atoms, ground_atoms)
+    def test_successful_match_reproduces_the_target(self, pattern, target):
+        result = match(pattern, target)
+        if result is not None:
+            assert result.apply_atom(pattern) == target
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+class TestTypeKeyProperties:
+    @given(st.lists(ground_atoms, max_size=4), st.booleans())
+    def test_type_key_is_invariant_under_null_renaming(self, atom_list, polarity):
+        if not atom_list:
+            return
+        anchor = atom_list[0]
+        literals = [Literal(a, polarity) for a in atom_list]
+
+        def rename(term):
+            if isinstance(term, FunctionTerm):
+                return FunctionTerm("renamed_" + term.function, tuple(rename(t) for t in term.args))
+            return term
+
+        renamed_anchor = Atom(anchor.predicate, tuple(rename(t) for t in anchor.args))
+        renamed_literals = [
+            Literal(Atom(l.atom.predicate, tuple(rename(t) for t in l.atom.args)), l.positive)
+            for l in literals
+        ]
+        key = canonical_type_key(anchor, [l for l in literals if set(l.atom.args) <= set(anchor.args)])
+        renamed_key = canonical_type_key(
+            renamed_anchor,
+            [l for l in renamed_literals if set(l.atom.args) <= set(renamed_anchor.args)],
+        )
+        assert key == renamed_key
+
+
+# ---------------------------------------------------------------------------
+# Well-founded semantics of random ground programs
+# ---------------------------------------------------------------------------
+
+
+class TestWfsProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(ground_programs())
+    def test_model_is_consistent_and_inside_the_universe(self, program):
+        model = well_founded_model(program)
+        assert not (model.true_atoms() & model.false_atoms())
+        assert model.true_atoms() <= program.atoms()
+        assert model.false_atoms() <= program.atoms()
+
+    @settings(max_examples=60, deadline=None)
+    @given(ground_programs())
+    def test_unfounded_and_alternating_constructions_agree(self, program):
+        via_unfounded = well_founded_model(program)
+        via_alternating = well_founded_model_alternating(program)
+        assert via_unfounded.true_atoms() == via_alternating.true_atoms()
+        assert via_unfounded.false_atoms() == via_alternating.false_atoms()
+
+    @settings(max_examples=40, deadline=None)
+    @given(ground_programs())
+    def test_wfs_approximates_every_stable_model(self, program):
+        model = well_founded_model(program)
+        for stable in stable_models(program):
+            assert model.true_atoms() <= stable
+            assert not (model.false_atoms() & stable)
+
+    @settings(max_examples=40, deadline=None)
+    @given(ground_programs())
+    def test_total_wfs_is_a_stable_model(self, program):
+        model = well_founded_model(program)
+        if model.is_total():
+            assert is_stable_model(program, set(model.true_atoms()))
+
+    @settings(max_examples=40, deadline=None)
+    @given(ground_programs())
+    def test_stratified_programs_have_a_total_wfs(self, program):
+        if is_stratified(program):
+            assert well_founded_model(program).is_total()
+
+    @settings(max_examples=40, deadline=None)
+    @given(ground_programs())
+    def test_greatest_unfounded_set_satisfies_the_definition(self, program):
+        model = well_founded_model(program)
+        interpretation = Interpretation(model.true_atoms(), model.false_atoms())
+        unfounded = greatest_unfounded_set(program, interpretation)
+        assert is_unfounded_set(unfounded, program, interpretation)
+        assert model.false_atoms() <= unfounded

@@ -1,0 +1,109 @@
+"""Unit tests for :mod:`repro.lang.rules` (normal rules, NTGDs, guardedness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import IllFormedRuleError, NotGuardedError
+from repro.lang.atoms import Atom
+from repro.lang.rules import NTGD, NormalRule
+from repro.lang.terms import Constant, FunctionTerm, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b = Constant("a"), Constant("b")
+
+
+class TestNormalRule:
+    def test_fact_detection(self):
+        fact = NormalRule(Atom("p", (a,)))
+        assert fact.is_fact() and fact.is_positive() and fact.is_ground()
+
+    def test_body_literals_keep_polarity(self):
+        rule = NormalRule(Atom("p", (X,)), (Atom("q", (X,)),), (Atom("r", (X,)),))
+        literals = rule.body
+        assert [l.positive for l in literals] == [True, False]
+
+    def test_unsafe_head_variable_is_rejected(self):
+        with pytest.raises(IllFormedRuleError):
+            NormalRule(Atom("p", (X, Y)), (Atom("q", (X,)),), ())
+
+    def test_unsafe_negative_variable_is_rejected(self):
+        with pytest.raises(IllFormedRuleError):
+            NormalRule(Atom("p", (X,)), (Atom("q", (X,)),), (Atom("r", (Y,)),))
+
+    def test_positive_part_drops_negative_body(self):
+        rule = NormalRule(Atom("p", (X,)), (Atom("q", (X,)),), (Atom("r", (X,)),))
+        positive = rule.positive_part()
+        assert positive.body_neg == () and positive.body_pos == rule.body_pos
+
+    def test_variables_and_predicates(self):
+        rule = NormalRule(Atom("p", (X,)), (Atom("q", (X, Y)),), (Atom("r", (Y,)),))
+        assert rule.variables() == {X, Y}
+        assert rule.predicates() == {"p", "q", "r"}
+
+    def test_function_terms_allowed_in_normal_rules(self):
+        head = Atom("p", (FunctionTerm("f", (X,)),))
+        rule = NormalRule(head, (Atom("q", (X,)),), ())
+        assert rule.head == head
+
+    def test_ground_rule_detection(self):
+        assert NormalRule(Atom("p", (a,)), (Atom("q", (b,)),), ()).is_ground()
+        assert not NormalRule(Atom("p", (X,)), (Atom("q", (X,)),), ()).is_ground()
+
+    def test_str_round_trips_visually(self):
+        rule = NormalRule(Atom("p", (X,)), (Atom("q", (X,)),), (Atom("r", (X,)),))
+        assert str(rule) == "q(X), not r(X) -> p(X)."
+        assert str(NormalRule(Atom("p", (a,)))) == "p(a)."
+
+
+class TestNTGD:
+    def test_existential_variable_detection(self):
+        ntgd = NTGD((Atom("scientist", (X,)),), Atom("isAuthorOf", (X, Y)))
+        assert ntgd.existential_variables() == {Y}
+        assert ntgd.universal_variables() == {X}
+        assert ntgd.frontier_variables() == {X}
+
+    def test_no_existentials_when_head_covered(self):
+        ntgd = NTGD((Atom("conf", (X,)),), Atom("article", (X,)))
+        assert ntgd.existential_variables() == set()
+
+    def test_guard_detection(self):
+        guarded = NTGD((Atom("r", (X, Y, Z)), Atom("p", (X, Y))), Atom("p", (X, Z)))
+        assert guarded.is_guarded()
+        assert guarded.guard() == Atom("r", (X, Y, Z))
+
+    def test_unguarded_rule_detected(self):
+        unguarded = NTGD((Atom("p", (X,)), Atom("q", (Y,))), Atom("r", (X, Y)))
+        assert not unguarded.is_guarded()
+        with pytest.raises(NotGuardedError):
+            unguarded.require_guard()
+
+    def test_empty_body_is_rejected(self):
+        with pytest.raises(IllFormedRuleError):
+            NTGD((), Atom("p", (a,)))
+
+    def test_function_terms_are_rejected_in_ntgds(self):
+        with pytest.raises(IllFormedRuleError):
+            NTGD((Atom("p", (FunctionTerm("f", (X,)),)),), Atom("q", (X,)))
+
+    def test_negative_body_variables_must_be_universal(self):
+        with pytest.raises(IllFormedRuleError):
+            NTGD((Atom("p", (X,)),), Atom("q", (X,)), (Atom("r", (Y,)),))
+
+    def test_positive_part_drops_negation(self):
+        ntgd = NTGD((Atom("r", (X, Y)),), Atom("s", (X,)), (Atom("p", (X,)),))
+        assert ntgd.positive_part().body_neg == ()
+
+    def test_linearity(self):
+        assert NTGD((Atom("p", (X,)),), Atom("q", (X,))).is_linear()
+        assert not NTGD(
+            (Atom("r", (X, Y)), Atom("p", (X,))), Atom("q", (X,))
+        ).is_linear()
+
+    def test_max_arity(self):
+        ntgd = NTGD((Atom("r", (X, Y, Z)),), Atom("q", (X,)))
+        assert ntgd.max_arity() == 3
+
+    def test_str_mentions_existentials(self):
+        ntgd = NTGD((Atom("scientist", (X,)),), Atom("isAuthorOf", (X, Y)))
+        assert "exists Y" in str(ntgd)

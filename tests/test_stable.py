@@ -1,0 +1,82 @@
+"""Tests for the stable-model facility (:mod:`repro.lp.stable`) and the
+classical relationship between the WFS and stable models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.parser import parse_atom, parse_normal_program
+from repro.lp.grounding import relevant_grounding
+from repro.lp.stable import is_stable_model, stable_models
+from repro.lp.wfs import well_founded_model
+
+
+def ground(text):
+    return relevant_grounding(parse_normal_program(text))
+
+
+class TestStableModels:
+    def test_definite_program_has_its_least_model_as_only_stable_model(self):
+        program = ground("p. p -> q.")
+        models = list(stable_models(program))
+        assert models == [{parse_atom("p"), parse_atom("q")}]
+
+    def test_even_negative_loop_has_two_stable_models(self):
+        program = ground("not q -> p. not p -> q.")
+        models = {frozenset(m) for m in stable_models(program)}
+        assert models == {
+            frozenset({parse_atom("p")}),
+            frozenset({parse_atom("q")}),
+        }
+
+    def test_odd_negative_loop_has_no_stable_model(self):
+        program = ground("not p -> p.")
+        assert list(stable_models(program)) == []
+
+    def test_is_stable_model_checks_the_reduct_fixpoint(self):
+        program = ground("not q -> p. not p -> q.")
+        assert is_stable_model(program, {parse_atom("p")})
+        assert not is_stable_model(program, {parse_atom("p"), parse_atom("q")})
+        assert not is_stable_model(program, set())
+
+    def test_pruned_and_unpruned_enumeration_agree(self):
+        program = ground("not q -> p. not p -> q. p -> r.")
+        pruned = {frozenset(m) for m in stable_models(program)}
+        unpruned = {frozenset(m) for m in stable_models(program, use_wfs_pruning=False)}
+        assert pruned == unpruned
+
+    def test_guess_budget_is_enforced(self):
+        text = "\n".join(f"not a{i} -> b{i}. not b{i} -> a{i}." for i in range(30))
+        program = ground(text)
+        with pytest.raises(ValueError):
+            list(stable_models(program, max_undefined=10))
+
+
+class TestWfsApproximatesStableModels:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "p. p, not q -> r.",
+            "not q -> p. not p -> q. p -> r.",
+            """
+            move(a, b). move(b, a). move(b, c). move(c, d).
+            move(X, Y), not win(Y) -> win(X).
+            """,
+            "bird(tweety). bird(X), not penguin(X) -> flies(X).",
+        ],
+    )
+    def test_wfs_literals_hold_in_every_stable_model(self, text):
+        program = ground(text)
+        wfs = well_founded_model(program)
+        models = list(stable_models(program))
+        for model in models:
+            for atom in wfs.true_atoms():
+                assert atom in model
+            for atom in wfs.false_atoms():
+                assert atom not in model
+
+    def test_total_wfs_is_the_unique_stable_model(self):
+        program = ground("bird(tweety). bird(X), not penguin(X) -> flies(X).")
+        wfs = well_founded_model(program)
+        assert wfs.is_total()
+        assert list(stable_models(program)) == [set(wfs.true_atoms())]

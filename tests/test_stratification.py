@@ -1,0 +1,100 @@
+"""Tests for stratification and the perfect-model semantics (:mod:`repro.lp.stratification`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NotStratifiedError
+from repro.lang.parser import parse_atom, parse_normal_program
+from repro.lp.grounding import relevant_grounding
+from repro.lp.stratification import (
+    dependency_graph,
+    is_stratified,
+    perfect_model,
+    stratify,
+)
+from repro.lp.wfs import well_founded_model
+
+
+class TestDependencyGraphAndStratification:
+    def test_dependency_graph_edges(self):
+        program = parse_normal_program("q(X), not r(X) -> p(X). s(X) -> q(X).")
+        positive, negative = dependency_graph(program)
+        assert ("p", "q") in positive and ("q", "s") in positive
+        assert ("p", "r") in negative
+
+    def test_stratified_program_gets_increasing_strata(self):
+        program = parse_normal_program(
+            """
+            bird(tweety).
+            bird(X), not penguin(X) -> flies(X).
+            flies(X) -> travels(X).
+            """
+        )
+        strata = stratify(program)
+        assert strata["flies"] >= strata["penguin"] + 1
+        assert strata["travels"] >= strata["flies"]
+        assert is_stratified(program)
+
+    def test_negative_cycle_is_not_stratified(self):
+        program = parse_normal_program("not q -> p. not p -> q.")
+        assert not is_stratified(program)
+        with pytest.raises(NotStratifiedError):
+            stratify(program)
+
+    def test_positive_cycle_is_stratified(self):
+        program = parse_normal_program("q -> p. p -> q.")
+        assert is_stratified(program)
+
+    def test_negative_self_loop_is_not_stratified(self):
+        assert not is_stratified(parse_normal_program("not p -> p."))
+
+
+class TestPerfectModel:
+    def test_flies_example(self):
+        program = parse_normal_program(
+            """
+            bird(tweety). bird(sam). penguin(sam).
+            bird(X), not penguin(X) -> flies(X).
+            """
+        )
+        model = perfect_model(program)
+        assert model.is_true(parse_atom("flies(tweety)"))
+        assert model.is_false(parse_atom("flies(sam)"))
+        assert not model.is_undefined(parse_atom("flies(sam)"))
+
+    def test_multi_stratum_evaluation(self):
+        program = parse_normal_program(
+            """
+            node(a). node(b). node(c). edge(a, b).
+            edge(X, Y) -> reach(Y).
+            node(X), not reach(X) -> isolated(X).
+            isolated(X), not special(X) -> boring(X).
+            """
+        )
+        model = perfect_model(program)
+        assert model.is_true(parse_atom("reach(b)"))
+        assert model.is_true(parse_atom("isolated(a)"))
+        assert model.is_true(parse_atom("isolated(c)"))
+        assert model.is_false(parse_atom("isolated(b)"))
+        assert model.is_true(parse_atom("boring(c)"))
+
+    def test_perfect_model_rejects_unstratified_programs(self):
+        with pytest.raises(NotStratifiedError):
+            perfect_model(parse_normal_program("not p -> p."))
+
+    def test_wfs_coincides_with_perfect_model_on_stratified_programs(self):
+        # One of the classical properties the paper relies on (Sec. 1): on
+        # stratified programs the WFS is total and equals the perfect model.
+        program = parse_normal_program(
+            """
+            employee(ann). employee(bob). manager(ann).
+            employee(X), not manager(X) -> worker(X).
+            worker(X), not onLeave(X) -> atDesk(X).
+            """
+        )
+        ground = relevant_grounding(program)
+        wfs = well_founded_model(ground)
+        perfect = perfect_model(program, ground=ground)
+        assert wfs.is_total()
+        assert wfs.true_atoms() == perfect.true_atoms()

@@ -1,0 +1,140 @@
+"""Unit tests for :mod:`repro.lang.substitution` (matching, unification, homomorphisms)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.atoms import Atom
+from repro.lang.substitution import Substitution, match, match_atoms, unify
+from repro.lang.terms import Constant, FunctionTerm, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+class TestSubstitutionBasics:
+    def test_empty_substitution_is_identity(self):
+        subst = Substitution.empty()
+        term = FunctionTerm("f", (a, X))
+        assert subst.apply_term(term) == term
+
+    def test_bind_and_apply(self):
+        subst = Substitution.empty().bind(X, a)
+        assert subst.apply_term(X) == a
+        assert subst.apply_term(Y) == Y
+        assert subst.apply_atom(Atom("p", (X, Y))) == Atom("p", (a, Y))
+
+    def test_rebinding_to_same_value_is_allowed(self):
+        subst = Substitution.empty().bind(X, a)
+        assert subst.bind(X, a)[X] == a
+
+    def test_rebinding_to_different_value_raises(self):
+        subst = Substitution.empty().bind(X, a)
+        with pytest.raises(ValueError):
+            subst.bind(X, b)
+
+    def test_apply_recurses_into_function_terms(self):
+        subst = Substitution({X: a})
+        term = FunctionTerm("f", (X, FunctionTerm("g", (X,))))
+        assert subst.apply_term(term) == FunctionTerm("f", (a, FunctionTerm("g", (a,))))
+
+    def test_apply_preserves_object_identity_when_unchanged(self):
+        # Structure sharing matters for the deep Skolem terms the chase builds.
+        ground = FunctionTerm("f", (a, FunctionTerm("g", (b,))))
+        subst = Substitution({X: a})
+        assert subst.apply_term(ground) is ground
+
+    def test_compose(self):
+        first = Substitution({X: Y})
+        second = Substitution({Y: a})
+        composed = first.compose(second)
+        assert composed.apply_term(X) == a
+        assert composed.apply_term(Y) == a
+
+    def test_restrict(self):
+        subst = Substitution({X: a, Y: b})
+        restricted = subst.restrict([X])
+        assert X in restricted and Y not in restricted
+
+    def test_apply_literal_preserves_polarity(self):
+        from repro.lang.atoms import neg
+
+        subst = Substitution({X: a})
+        literal = neg(Atom("p", (X,)))
+        applied = subst.apply_literal(literal)
+        assert not applied.positive and applied.atom == Atom("p", (a,))
+
+
+class TestMatching:
+    def test_match_binds_pattern_variables(self):
+        pattern = Atom("p", (X, Y))
+        target = Atom("p", (a, b))
+        result = match(pattern, target)
+        assert result is not None
+        assert result[X] == a and result[Y] == b
+
+    def test_match_respects_repeated_variables(self):
+        pattern = Atom("p", (X, X))
+        assert match(pattern, Atom("p", (a, a))) is not None
+        assert match(pattern, Atom("p", (a, b))) is None
+
+    def test_match_fails_on_predicate_or_arity_mismatch(self):
+        assert match(Atom("p", (X,)), Atom("q", (a,))) is None
+        assert match(Atom("p", (X,)), Atom("p", (a, b))) is None
+
+    def test_match_constants_must_agree(self):
+        assert match(Atom("p", (a, X)), Atom("p", (a, b))) is not None
+        assert match(Atom("p", (a, X)), Atom("p", (b, b))) is None
+
+    def test_match_function_terms_structurally(self):
+        pattern = Atom("p", (FunctionTerm("f", (X,)),))
+        target = Atom("p", (FunctionTerm("f", (a,)),))
+        result = match(pattern, target)
+        assert result is not None and result[X] == a
+        assert match(pattern, Atom("p", (FunctionTerm("g", (a,)),))) is None
+
+    def test_match_extends_existing_substitution(self):
+        initial = Substitution({X: a})
+        assert match(Atom("p", (X,)), Atom("p", (a,)), initial) is not None
+        assert match(Atom("p", (X,)), Atom("p", (b,)), initial) is None
+
+    def test_match_atoms_enumerates_all_joins(self):
+        patterns = [Atom("edge", (X, Y)), Atom("edge", (Y, Z))]
+        facts = [
+            Atom("edge", (a, b)),
+            Atom("edge", (b, c)),
+            Atom("edge", (a, c)),
+        ]
+        results = list(match_atoms(patterns, facts))
+        bound = {(s[X], s[Y], s[Z]) for s in results}
+        assert bound == {(a, b, c)}
+
+    def test_match_atoms_with_no_candidates_is_empty(self):
+        assert list(match_atoms([Atom("p", (X,))], [Atom("q", (a,))])) == []
+
+
+class TestUnification:
+    def test_unify_variable_with_constant(self):
+        result = unify(Atom("p", (X,)), Atom("p", (a,)))
+        assert result is not None and result[X] == a
+
+    def test_unify_two_variables(self):
+        result = unify(Atom("p", (X,)), Atom("p", (Y,)))
+        assert result is not None
+        assert result.apply_term(X) == result.apply_term(Y)
+
+    def test_unify_function_terms(self):
+        left = Atom("p", (FunctionTerm("f", (X, b)),))
+        right = Atom("p", (FunctionTerm("f", (a, Y)),))
+        result = unify(left, right)
+        assert result is not None
+        assert result.apply_atom(left) == result.apply_atom(right)
+
+    def test_unify_fails_on_clash(self):
+        assert unify(Atom("p", (a,)), Atom("p", (b,))) is None
+        assert unify(Atom("p", (X,)), Atom("q", (X,))) is None
+
+    def test_occurs_check_prevents_infinite_terms(self):
+        left = Atom("p", (X,))
+        right = Atom("p", (FunctionTerm("f", (X,)),))
+        assert unify(left, right) is None

@@ -1,0 +1,148 @@
+"""Unit tests for :mod:`repro.lang.terms`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.terms import (
+    Constant,
+    FunctionTerm,
+    Variable,
+    constants_of,
+    fresh_null_factory,
+    fresh_variable_factory,
+    is_ground_term,
+    nulls_of,
+    term_depth,
+    term_sort_key,
+    uniquify,
+    variables_of,
+)
+
+
+class TestConstantsAndVariables:
+    def test_equal_constants_compare_equal(self):
+        assert Constant("a") == Constant("a")
+        assert hash(Constant("a")) == hash(Constant("a"))
+
+    def test_distinct_constants_differ_under_una(self):
+        assert Constant("a") != Constant("b")
+
+    def test_constant_and_variable_with_same_name_differ(self):
+        assert Constant("x") != Variable("x")
+
+    def test_variables_are_hashable_and_comparable(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_str_forms(self):
+        assert str(Constant("john")) == "john"
+        assert str(Variable("X")) == "X"
+
+
+class TestFunctionTerms:
+    def test_construction_and_equality(self):
+        t1 = FunctionTerm("f", (Constant("a"), Variable("X")))
+        t2 = FunctionTerm("f", (Constant("a"), Variable("X")))
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+
+    def test_different_function_symbols_differ(self):
+        assert FunctionTerm("f", (Constant("a"),)) != FunctionTerm("g", (Constant("a"),))
+
+    def test_functional_term_differs_from_constant(self):
+        assert FunctionTerm("a", ()) != Constant("a")
+
+    def test_args_are_stored_as_tuple(self):
+        term = FunctionTerm("f", [Constant("a"), Constant("b")])
+        assert isinstance(term.args, tuple)
+        assert term.arity == 2
+
+    def test_immutability(self):
+        term = FunctionTerm("f", (Constant("a"),))
+        with pytest.raises(AttributeError):
+            term.function = "g"
+
+    def test_str_form(self):
+        term = FunctionTerm("f", (Constant("0"), Variable("X")))
+        assert str(term) == "f(0, X)"
+        assert str(FunctionTerm("g", ())) == "g()"
+
+    def test_deeply_nested_terms_hash_in_reasonable_time(self):
+        # Fibonacci-style sharing: t_{i+2} = f(t_i, t_{i+1}).  Without cached
+        # hashes this would be exponential in the nesting depth.
+        t0, t1 = Constant("0"), Constant("1")
+        terms = [t0, t1]
+        for _ in range(200):
+            terms.append(FunctionTerm("f", (terms[-2], terms[-1])))
+        deep = terms[-1]
+        assert hash(deep) == hash(FunctionTerm("f", (terms[-3], terms[-2])))
+        assert deep == terms[-1]
+        assert is_ground_term(deep)
+
+
+class TestGroundness:
+    def test_constant_is_ground(self):
+        assert is_ground_term(Constant("a"))
+
+    def test_variable_is_not_ground(self):
+        assert not is_ground_term(Variable("X"))
+
+    def test_function_term_groundness_follows_arguments(self):
+        assert is_ground_term(FunctionTerm("f", (Constant("a"),)))
+        assert not is_ground_term(FunctionTerm("f", (Variable("X"),)))
+        nested = FunctionTerm("f", (FunctionTerm("g", (Variable("X"),)),))
+        assert not is_ground_term(nested)
+
+
+class TestTermTraversals:
+    def test_variables_of_collects_nested_variables(self):
+        term = FunctionTerm("f", (Variable("X"), FunctionTerm("g", (Variable("Y"),))))
+        assert set(variables_of(term)) == {Variable("X"), Variable("Y")}
+
+    def test_variables_of_ground_term_is_empty(self):
+        term = FunctionTerm("f", (Constant("a"), FunctionTerm("g", (Constant("b"),))))
+        assert list(variables_of(term)) == []
+
+    def test_constants_of_collects_nested_constants(self):
+        term = FunctionTerm("f", (Constant("a"), FunctionTerm("g", (Constant("b"),))))
+        assert set(constants_of(term)) == {Constant("a"), Constant("b")}
+
+    def test_nulls_of_yields_maximal_ground_functional_terms(self):
+        inner = FunctionTerm("g", (Constant("b"),))
+        outer = FunctionTerm("f", (Constant("a"), inner))
+        assert list(nulls_of(outer)) == [outer]
+        mixed = FunctionTerm("f", (Variable("X"), inner))
+        assert list(nulls_of(mixed)) == [inner]
+
+    def test_term_depth(self):
+        assert term_depth(Constant("a")) == 0
+        assert term_depth(Variable("X")) == 0
+        assert term_depth(FunctionTerm("f", (Constant("a"),))) == 1
+        nested = FunctionTerm("f", (FunctionTerm("g", (Constant("a"),)),))
+        assert term_depth(nested) == 2
+
+
+class TestOrderingAndFactories:
+    def test_sort_key_places_constants_before_nulls(self):
+        constant_key = term_sort_key(Constant("z"))
+        null_key = term_sort_key(FunctionTerm("a", ()))
+        assert constant_key < null_key
+
+    def test_sort_key_orders_constants_lexicographically(self):
+        assert term_sort_key(Constant("a")) < term_sort_key(Constant("b"))
+
+    def test_fresh_variable_factory_produces_distinct_variables(self):
+        fresh = fresh_variable_factory("V")
+        assert fresh() != fresh()
+
+    def test_fresh_null_factory_produces_distinct_nulls(self):
+        fresh = fresh_null_factory("n")
+        first, second = fresh(), fresh()
+        assert first != second
+        assert is_ground_term(first)
+
+    def test_uniquify_preserves_order(self):
+        a, b = Constant("a"), Constant("b")
+        assert uniquify([a, b, a, b, a]) == [a, b]

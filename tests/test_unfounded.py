@@ -1,0 +1,120 @@
+"""Unit tests for greatest unfounded sets (:mod:`repro.lp.unfounded`).
+
+The examples follow Sec. 2.6 of the paper and the original Van Gelder / Ross /
+Schlipf definitions: condition (i) — a positive body atom is false in
+``I ∪ ¬.U`` — and condition (ii) — a negative body atom is true in ``I``.
+"""
+
+from __future__ import annotations
+
+from repro.lang.atoms import Atom
+from repro.lang.parser import parse_normal_program
+from repro.lang.terms import Constant
+from repro.lp.grounding import GroundProgram, relevant_grounding
+from repro.lp.interpretation import Interpretation
+from repro.lp.unfounded import greatest_unfounded_set, is_unfounded_set, possibly_true_atoms
+
+
+def atom(name):
+    return Atom(name, ())
+
+
+def ground(text):
+    """Ground a *propositional* program verbatim.
+
+    The unfounded-set definition quantifies over all rules of ``ground(P)``,
+    including rules whose bodies are not derivable; relevant grounding would
+    drop exactly those, so these tests keep every rule by using the (already
+    ground) propositional rules directly.
+    """
+    program = parse_normal_program(text)
+    ground_program = GroundProgram()
+    for rule in program:
+        ground_program.add(rule)
+    return ground_program
+
+
+def ground_relevant(text):
+    """Relevant grounding, for the non-propositional test programs."""
+    return relevant_grounding(parse_normal_program(text))
+
+
+class TestGreatestUnfoundedSet:
+    def test_atom_with_no_rule_is_unfounded(self):
+        program = ground("p. r -> q.")
+        # q depends on r, which has no rule at all; both are unfounded w.r.t. the
+        # empty interpretation, p is not (it is a fact).
+        unfounded = greatest_unfounded_set(program, Interpretation.empty())
+        assert atom("q") in unfounded and atom("r") in unfounded
+        assert atom("p") not in unfounded
+
+    def test_positive_cycle_is_unfounded(self):
+        program = ground("q -> p. p -> q.")
+        unfounded = greatest_unfounded_set(program, Interpretation.empty())
+        assert {atom("p"), atom("q")} <= unfounded
+
+    def test_fact_supported_chain_is_not_unfounded(self):
+        program = ground("p. p -> q. q -> r.")
+        unfounded = greatest_unfounded_set(program, Interpretation.empty())
+        assert unfounded == set()
+
+    def test_condition_ii_negative_body_true_in_interpretation(self):
+        program = ground("p. not q -> r. ")
+        # With q true in I, the only rule for r is blocked, so r is unfounded.
+        interpretation = Interpretation([atom("q")])
+        unfounded = greatest_unfounded_set(program, interpretation)
+        assert atom("r") in unfounded
+
+    def test_condition_ii_requires_truth_not_just_undefinedness(self):
+        program = ground("p. not q -> r. ")
+        # q undefined: the rule for r is not blocked, r is not unfounded.
+        unfounded = greatest_unfounded_set(program, Interpretation.empty())
+        assert atom("r") not in unfounded
+
+    def test_condition_i_false_positive_body(self):
+        program = ground("q -> p. ")
+        interpretation = Interpretation([], [atom("q")])
+        unfounded = greatest_unfounded_set(program, interpretation)
+        assert atom("p") in unfounded
+
+    def test_unfoundedness_propagates_through_the_set_itself(self):
+        # a <- b, b <- a, and c <- a: all three are simultaneously unfounded
+        # because condition (i) may refer to ¬.U itself.
+        program = ground("b -> a. a -> b. a -> c.")
+        unfounded = greatest_unfounded_set(program, Interpretation.empty())
+        assert {atom("a"), atom("b"), atom("c")} <= unfounded
+
+    def test_explicit_universe_extends_the_result(self):
+        program = ground("p.")
+        extra = Atom("extra", (Constant("x"),))
+        unfounded = greatest_unfounded_set(
+            program, Interpretation.empty(), universe=[extra, atom("p")]
+        )
+        assert extra in unfounded and atom("p") not in unfounded
+
+
+class TestUnfoundedSetChecker:
+    def test_greatest_unfounded_set_is_an_unfounded_set(self):
+        program = ground_relevant(
+            """
+            move(a, b). move(b, a). move(b, c). move(c, d).
+            move(X, Y), not win(Y) -> win(X).
+            """
+        )
+        for interpretation in (
+            Interpretation.empty(),
+            Interpretation([Atom("win", (Constant("c"),))]),
+        ):
+            unfounded = greatest_unfounded_set(program, interpretation)
+            assert is_unfounded_set(unfounded, program, interpretation)
+
+    def test_non_unfounded_candidate_is_rejected(self):
+        program = ground("p. p -> q.")
+        assert not is_unfounded_set({atom("q")}, program, Interpretation.empty())
+
+    def test_possibly_true_is_the_complement(self):
+        program = ground("p. p -> q. r -> s.")
+        possible = possibly_true_atoms(program, Interpretation.empty())
+        unfounded = greatest_unfounded_set(program, Interpretation.empty())
+        assert possible == {atom("p"), atom("q")}
+        assert unfounded == set(program.atoms()) - possible

@@ -1,0 +1,149 @@
+"""Tests for the classical WFS of finite ground normal programs (:mod:`repro.lp.wfs`).
+
+Covers the textbook behaviours the paper's Sec. 2.6 recalls: the win/move
+game, stratified programs (total WFS equal to the perfect model), programs
+with undefined atoms, and the equivalence of the unfounded-set construction
+with the alternating fixpoint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.atoms import Atom
+from repro.lang.parser import parse_atom, parse_normal_program
+from repro.lang.terms import Constant
+from repro.lp.grounding import relevant_grounding
+from repro.lp.interpretation import Interpretation
+from repro.lp.wfs import (
+    gelfond_lifschitz_reduct,
+    least_model_positive,
+    tp_operator,
+    well_founded_model,
+    well_founded_model_alternating,
+    wp_operator,
+)
+
+
+def wfs_of(text):
+    return well_founded_model(relevant_grounding(parse_normal_program(text)))
+
+
+class TestOperators:
+    def test_tp_fires_only_fully_satisfied_rules(self):
+        program = relevant_grounding(parse_normal_program("p. p, not q -> r."))
+        assert tp_operator(program, Interpretation.empty()) == {parse_atom("p")}
+        decided = Interpretation([parse_atom("p")], [parse_atom("q")])
+        assert parse_atom("r") in tp_operator(program, decided)
+
+    def test_wp_combines_tp_and_unfounded(self):
+        program = relevant_grounding(parse_normal_program("p. p, not q -> r."))
+        result = wp_operator(program, Interpretation.empty())
+        assert result.is_true(parse_atom("p"))
+        assert result.is_false(parse_atom("q"))  # q has no rule
+
+    def test_least_model_positive(self):
+        program = relevant_grounding(parse_normal_program("p. p -> q. q -> r. s -> t."))
+        assert least_model_positive(program) == {
+            parse_atom("p"),
+            parse_atom("q"),
+            parse_atom("r"),
+        }
+
+    def test_gelfond_lifschitz_reduct(self):
+        program = relevant_grounding(parse_normal_program("p. p, not q -> r."))
+        kept = gelfond_lifschitz_reduct(program, set())
+        assert any(rule.head == parse_atom("r") and rule.is_positive() for rule in kept)
+        dropped = gelfond_lifschitz_reduct(program, {parse_atom("q")})
+        assert all(rule.head != parse_atom("r") for rule in dropped)
+
+
+class TestWellFoundedModel:
+    def test_win_move_game(self, win_move_ground):
+        model = well_founded_model(win_move_ground)
+        win = lambda x: Atom("win", (Constant(x),))  # noqa: E731
+        # d is a dead end: lost. c can move to the lost d: won.
+        assert model.is_false(win("d"))
+        assert model.is_true(win("c"))
+        # a and b sit on a 2-cycle with an escape for b; both are undefined.
+        assert model.is_undefined(win("a"))
+        assert model.is_undefined(win("b"))
+        assert not model.is_total()
+
+    def test_stratified_program_is_total(self):
+        model = wfs_of(
+            """
+            bird(tweety). bird(sam). penguin(sam).
+            bird(X), not penguin(X) -> flies(X).
+            """
+        )
+        assert model.is_total()
+        assert model.is_true(parse_atom("flies(tweety)"))
+        assert model.is_false(parse_atom("flies(sam)"))
+
+    def test_even_loop_is_undefined(self):
+        model = wfs_of("not q -> p. not p -> q.")
+        assert model.is_undefined(parse_atom("p"))
+        assert model.is_undefined(parse_atom("q"))
+
+    def test_odd_loop_is_undefined_under_wfs(self):
+        model = wfs_of("not p -> p.")
+        assert model.is_undefined(parse_atom("p"))
+
+    def test_default_negation_of_unsupported_atom(self):
+        model = wfs_of("not q -> p.")
+        assert model.is_true(parse_atom("p"))
+        assert model.is_false(parse_atom("q"))
+
+    def test_positive_cycle_is_false(self):
+        model = wfs_of("q -> p. p -> q.")
+        assert model.is_false(parse_atom("p")) and model.is_false(parse_atom("q"))
+
+    def test_atoms_outside_the_universe_are_false(self):
+        model = wfs_of("p.")
+        assert model.is_false(parse_atom("nowhere(a)"))
+        assert not model.is_true(parse_atom("nowhere(a)"))
+
+    def test_model_views_are_consistent(self):
+        model = wfs_of("p. not q -> r. not r -> s.")
+        trues, falses, undefined = (
+            model.true_atoms(),
+            model.false_atoms(),
+            model.undefined_atoms(),
+        )
+        assert trues | falses | undefined == model.universe()
+        assert not (trues & falses)
+
+    def test_holds_on_literals(self):
+        from repro.lang.atoms import neg, pos
+
+        model = wfs_of("p.")
+        assert model.holds(pos(parse_atom("p")))
+        assert model.holds(neg(parse_atom("q")))
+
+
+class TestAlternatingFixpointAgreement:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "p. p, not q -> r.",
+            "not q -> p. not p -> q.",
+            "not p -> p.",
+            "q -> p. p -> q. not p -> s.",
+            """
+            move(a, b). move(b, a). move(b, c). move(c, d).
+            move(X, Y), not win(Y) -> win(X).
+            """,
+            """
+            edge(a, b). edge(b, c). edge(c, a). node(a). node(b). node(c).
+            edge(X, Y) -> reach(Y).
+            node(X), not reach(X) -> isolated(X).
+            """,
+        ],
+    )
+    def test_both_constructions_agree(self, text):
+        ground = relevant_grounding(parse_normal_program(text))
+        via_unfounded = well_founded_model(ground)
+        via_alternating = well_founded_model_alternating(ground)
+        assert via_unfounded.true_atoms() == via_alternating.true_atoms()
+        assert via_unfounded.false_atoms() == via_alternating.false_atoms()
