@@ -71,12 +71,14 @@ from .lang import (
 from .lp import (
     GroundProgram,
     Interpretation,
+    RuleIndex,
     WellFoundedModel,
     perfect_model,
     relevant_grounding,
     stable_models,
     well_founded_model,
     well_founded_model_alternating,
+    well_founded_model_naive,
 )
 
 __version__ = "0.1.0"
@@ -124,12 +126,14 @@ __all__ = [
     # lp substrate
     "GroundProgram",
     "Interpretation",
+    "RuleIndex",
     "WellFoundedModel",
     "perfect_model",
     "relevant_grounding",
     "stable_models",
     "well_founded_model",
     "well_founded_model_alternating",
+    "well_founded_model_naive",
     # lazily re-exported flagships (see __getattr__)
     "WellFoundedEngine",
     "answer_query",

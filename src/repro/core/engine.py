@@ -233,6 +233,12 @@ class WellFoundedEngine:
             self.skolemized, database, max_nodes=max_nodes, require_guarded=require_guarded
         )
         self._model: Optional[DatalogWellFoundedModel] = None
+        # The ground program induced by the chase segment, grown incrementally
+        # across iterative-deepening rounds: the forest is append-only, so each
+        # round only feeds the nodes added since the previous depth into the
+        # (also incrementally maintained) ground program and its rule index.
+        self._ground = GroundProgram()
+        self._ground_consumed = 0
 
     # -- public API --------------------------------------------------------------------
 
@@ -346,13 +352,21 @@ class WellFoundedEngine:
         return model
 
     def _ground_program(self) -> GroundProgram:
-        """The finite ground program induced by the materialised chase segment."""
-        ground = GroundProgram()
-        for root in self._chase.forest.roots():
-            ground.add(NormalRule(root.label))
-        for rule in self._chase.forest.edge_rules():
-            ground.add(rule)
-        return ground
+        """The finite ground program induced by the materialised chase segment.
+
+        The forest only ever grows, so instead of rebuilding the program (and
+        its worklist index) from scratch at every depth, the nodes appended
+        since the last call are folded into the persistent program: roots
+        contribute their labels as facts, inner nodes their edge rules.
+        """
+        nodes = self._chase.forest.nodes()
+        for node in nodes[self._ground_consumed:]:
+            if node.is_root():
+                self._ground.add(NormalRule(node.label))
+            else:
+                self._ground.add(node.edge_rule)
+        self._ground_consumed = len(nodes)
+        return self._ground
 
     def _frontier_type_keys(self, model: DatalogWellFoundedModel) -> frozenset:
         """Canonical type keys of the current frontier nodes, w.r.t. *model*.

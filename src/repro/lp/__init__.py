@@ -9,31 +9,48 @@ produced from chase segments.
 """
 
 from .fitting import fitting_operator, kripke_kleene_model
-from .grounding import GroundProgram, ground_over_atoms, relevant_grounding
+from .fixpoint import RuleIndex, strongly_connected_components
+from .grounding import (
+    GroundProgram,
+    PredicateIndex,
+    ground_over_atoms,
+    relevant_grounding,
+)
 from .herbrand import herbrand_base, herbrand_base_of_program, herbrand_universe
 from .interpretation import Interpretation, TruthValue
 from .stable import is_stable_model, stable_models
 from .stratification import (
     PerfectModel,
     dependency_graph,
+    ground_component_summary,
+    ground_dependency_components,
     is_stratified,
     perfect_model,
     stratify,
 )
-from .unfounded import greatest_unfounded_set, is_unfounded_set, possibly_true_atoms
+from .unfounded import (
+    greatest_unfounded_set,
+    is_unfounded_set,
+    possibly_true_atoms,
+    possibly_true_atoms_naive,
+)
 from .wfs import (
     WellFoundedModel,
     least_model_positive,
     tp_operator,
     well_founded_model,
     well_founded_model_alternating,
+    well_founded_model_naive,
     wp_operator,
 )
 
 __all__ = [
     "fitting_operator",
     "kripke_kleene_model",
+    "RuleIndex",
+    "strongly_connected_components",
     "GroundProgram",
+    "PredicateIndex",
     "ground_over_atoms",
     "relevant_grounding",
     "herbrand_base",
@@ -45,16 +62,20 @@ __all__ = [
     "stable_models",
     "PerfectModel",
     "dependency_graph",
+    "ground_component_summary",
+    "ground_dependency_components",
     "is_stratified",
     "perfect_model",
     "stratify",
     "greatest_unfounded_set",
     "is_unfounded_set",
     "possibly_true_atoms",
+    "possibly_true_atoms_naive",
     "WellFoundedModel",
     "least_model_positive",
     "tp_operator",
     "well_founded_model",
     "well_founded_model_alternating",
+    "well_founded_model_naive",
     "wp_operator",
 ]

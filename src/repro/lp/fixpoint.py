@@ -1,0 +1,544 @@
+"""Worklist-based fixpoint substrate shared by every LP-layer fixpoint.
+
+All the semantics implemented in :mod:`repro.lp` — the well-founded model,
+the alternating fixpoint, unfounded sets, the Kripke–Kleene model, stable
+models, perfect models — bottom out in least-fixpoint computations over a
+finite ground program.  The seed implementation ran each of those as a naive
+whole-program re-scan loop (quadratic in the number of rules per iteration);
+this module provides the indexed substrate they all share now:
+
+* :class:`RuleIndex` — ground rules indexed by their positive and negative
+  body atoms and by their head, with Dowling–Gallier-style per-rule counters
+  of not-yet-satisfied positive body atoms.  Atoms are *interned* to dense
+  integer ids on insertion: every propagation, SCC decomposition and
+  component closure runs in id space (hashing a small ``int`` instead of a
+  structural :class:`~repro.lang.atoms.Atom` tuple), and results are
+  translated back to atoms only at the API boundary.  Every propagation
+  visits each rule–atom incidence at most once, so a closure costs time
+  linear in the size of the ground program instead of
+  ``rules × iterations``.
+* the propagators every caller needs: :meth:`RuleIndex.least_model`
+  (positive least fixpoint), :meth:`RuleIndex.gamma` (least model of the
+  Gelfond–Lifschitz reduct, without materialising the reduct),
+  :meth:`RuleIndex.possibly_true` (the complement of the greatest unfounded
+  set) and the component-restricted closures used by the SCC-modular
+  well-founded evaluation.
+* :func:`strongly_connected_components` — an iterative Tarjan SCC
+  decomposition emitting components dependencies-first, so a component is
+  evaluated only after every component it depends on.
+
+The index is deliberately ignorant of three-valued semantics: it stores the
+rule structure once and exposes raw propagation; the semantic modules decide
+which rules are enabled and what a derived head means.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Mapping, Optional, Sequence, TYPE_CHECKING
+
+from ..lang.atoms import Atom
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (grounding imports us)
+    from ..lang.rules import NormalRule
+    from .interpretation import Interpretation
+
+__all__ = ["RuleIndex", "strongly_connected_components"]
+
+#: Shared empty exclusion set for closures that exclude nothing.
+_EMPTY_IDS: frozenset[int] = frozenset()
+
+
+class RuleIndex:
+    """Ground rules indexed for worklist propagation (Dowling–Gallier 1984).
+
+    Rules are stored once, in insertion order, under dense integer ids, and
+    every atom occurring anywhere is interned to a dense integer *atom id*.
+    For every rule the index keeps its head and the *deduplicated* positive
+    and negative body atom ids; for every atom the ids of the rules watching
+    it positively, negatively and as a head.  The index is append-only —
+    :class:`~repro.lp.grounding.GroundProgram` grows it incrementally as the
+    Datalog± engine deepens its chase segment.
+
+    The public methods speak :class:`~repro.lang.atoms.Atom`; the ``*_ids``
+    methods expose the id-space layer for callers that run whole fixpoint
+    loops (the WFS and Kripke–Kleene evaluators) and want to translate only
+    once at the end.
+    """
+
+    __slots__ = (
+        "_rules",
+        "_atom_ids",
+        "_atom_list",
+        "_heads",
+        "_pos",
+        "_neg",
+        "_watch_pos",
+        "_watch_neg",
+        "_rules_by_head",
+    )
+
+    def __init__(self, rules: Iterable["NormalRule"] = ()):
+        self._rules: list["NormalRule"] = []
+        self._atom_ids: dict[Atom, int] = {}
+        self._atom_list: list[Atom] = []
+        self._heads: list[int] = []
+        self._pos: list[tuple[int, ...]] = []
+        self._neg: list[tuple[int, ...]] = []
+        self._watch_pos: list[list[int]] = []
+        self._watch_neg: list[list[int]] = []
+        self._rules_by_head: list[list[int]] = []
+        for rule in rules:
+            self.add_rule(rule)
+
+    # -- construction -----------------------------------------------------------
+
+    def _intern(self, atom: Atom) -> int:
+        """The dense id of *atom*, assigning a fresh one on first sight."""
+        atom_id = self._atom_ids.get(atom)
+        if atom_id is None:
+            atom_id = len(self._atom_list)
+            self._atom_ids[atom] = atom_id
+            self._atom_list.append(atom)
+            self._watch_pos.append([])
+            self._watch_neg.append([])
+            self._rules_by_head.append([])
+        return atom_id
+
+    def add_rule(self, rule: "NormalRule") -> int:
+        """Append a ground rule and return its dense id.
+
+        Body atoms are deduplicated so the per-rule counters used by the
+        propagators count *distinct* unsatisfied atoms.
+        """
+        rule_id = len(self._rules)
+        head_id = self._intern(rule.head)
+        pos = tuple(dict.fromkeys(self._intern(a) for a in rule.body_pos))
+        neg = tuple(dict.fromkeys(self._intern(a) for a in rule.body_neg))
+        self._rules.append(rule)
+        self._heads.append(head_id)
+        self._pos.append(pos)
+        self._neg.append(neg)
+        for atom_id in pos:
+            self._watch_pos[atom_id].append(rule_id)
+        for atom_id in neg:
+            self._watch_neg[atom_id].append(rule_id)
+        self._rules_by_head[head_id].append(rule_id)
+        return rule_id
+
+    # -- atom interning ----------------------------------------------------------
+
+    def atom_count(self) -> int:
+        """Number of distinct atoms interned (the relevant universe size)."""
+        return len(self._atom_list)
+
+    def atom_of(self, atom_id: int) -> Atom:
+        """The atom behind a dense atom id."""
+        return self._atom_list[atom_id]
+
+    def atom_id(self, atom: Atom) -> Optional[int]:
+        """The dense id of *atom*, or ``None`` if it occurs in no rule."""
+        return self._atom_ids.get(atom)
+
+    def atoms_of(self, atom_ids: Iterable[int]) -> set[Atom]:
+        """Translate a collection of atom ids back to atoms."""
+        atom_list = self._atom_list
+        return {atom_list[atom_id] for atom_id in atom_ids}
+
+    def atoms(self) -> frozenset[Atom]:
+        """Every atom occurring in some indexed rule (the relevant universe)."""
+        return frozenset(self._atom_list)
+
+    # -- rule access -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def rule(self, rule_id: int) -> "NormalRule":
+        """The rule stored under *rule_id*."""
+        return self._rules[rule_id]
+
+    def head(self, rule_id: int) -> Atom:
+        """The head atom of the rule."""
+        return self._atom_list[self._heads[rule_id]]
+
+    def pos_body(self, rule_id: int) -> tuple[Atom, ...]:
+        """The deduplicated positive body atoms of the rule."""
+        return tuple(self._atom_list[a] for a in self._pos[rule_id])
+
+    def neg_body(self, rule_id: int) -> tuple[Atom, ...]:
+        """The deduplicated negative body atoms of the rule."""
+        return tuple(self._atom_list[a] for a in self._neg[rule_id])
+
+    def head_id(self, rule_id: int) -> int:
+        """The head atom id of the rule."""
+        return self._heads[rule_id]
+
+    def pos_ids(self, rule_id: int) -> tuple[int, ...]:
+        """The deduplicated positive body atom ids of the rule."""
+        return self._pos[rule_id]
+
+    def neg_ids(self, rule_id: int) -> tuple[int, ...]:
+        """The deduplicated negative body atom ids of the rule."""
+        return self._neg[rule_id]
+
+    def rule_ids_for_head(self, atom: Atom) -> Sequence[int]:
+        """Ids of the rules whose head is *atom*."""
+        atom_id = self._atom_ids.get(atom)
+        return () if atom_id is None else self._rules_by_head[atom_id]
+
+    def rule_ids_for_head_id(self, atom_id: int) -> Sequence[int]:
+        """Ids of the rules whose head has the given atom id."""
+        return self._rules_by_head[atom_id]
+
+    def watchers_pos_id(self, atom_id: int) -> Sequence[int]:
+        """Ids of the rules with the atom in their positive body."""
+        return self._watch_pos[atom_id]
+
+    def watchers_neg_id(self, atom_id: int) -> Sequence[int]:
+        """Ids of the rules with the atom in their negative body."""
+        return self._watch_neg[atom_id]
+
+    # -- core propagation ---------------------------------------------------------
+
+    def _propagate_ids(
+        self, seed: set[int], blocked: Optional[Callable[[int], bool]]
+    ) -> set[int]:
+        """Core Dowling–Gallier propagation, in atom-id space.
+
+        Computes the least set ``D ⊇ seed`` closed under firing every
+        non-blocked rule whose (distinct) positive body atoms all lie in
+        ``D``.  Negative bodies are never consulted — callers encode them in
+        *blocked*.  Each rule–atom incidence is touched at most once.
+        """
+        derived = set(seed)
+        counts: list[int] = [0] * len(self._rules)
+        heads = self._heads
+        watch_pos = self._watch_pos
+        stack: list[int] = []
+        for rule_id, pos in enumerate(self._pos):
+            if blocked is not None and blocked(rule_id):
+                counts[rule_id] = -1
+                continue
+            # Counters are computed against the seed snapshot only: heads fired
+            # during this loop land on the stack and decrement their watchers
+            # when popped, so excluding them here would double-count them.
+            remaining = sum(1 for atom_id in pos if atom_id not in seed)
+            counts[rule_id] = remaining
+            if remaining == 0:
+                head_id = heads[rule_id]
+                if head_id not in derived:
+                    derived.add(head_id)
+                    stack.append(head_id)
+        while stack:
+            atom_id = stack.pop()
+            for rule_id in watch_pos[atom_id]:
+                if counts[rule_id] <= 0:
+                    continue  # blocked, or already fired
+                counts[rule_id] -= 1
+                if counts[rule_id] == 0:
+                    head_id = heads[rule_id]
+                    if head_id not in derived:
+                        derived.add(head_id)
+                        stack.append(head_id)
+        return derived
+
+    def _seed_ids(self, atoms: Iterable[Atom]) -> set[int]:
+        """Intern-free translation of seed atoms; unknown atoms are dropped.
+
+        An atom occurring in no rule cannot unlock any counter, so dropping
+        it from the id-space seed is harmless — callers receive it back via
+        the union with their original seed where relevant.
+        """
+        atom_ids = self._atom_ids
+        result: set[int] = set()
+        for atom in atoms:
+            atom_id = atom_ids.get(atom)
+            if atom_id is not None:
+                result.add(atom_id)
+        return result
+
+    # -- propagators -------------------------------------------------------------
+
+    def least_model(self, start: Iterable[Atom] = ()) -> set[Atom]:
+        """Least model of the positive parts of the indexed rules.
+
+        Negative bodies are ignored entirely (callers index reducts, which are
+        positive by construction, or want exactly the ``P⁺`` closure).
+        ``start`` seeds the model with externally-known true atoms (they are
+        included in the result even when they occur in no rule).
+        """
+        start = set(start)
+        derived = self.atoms_of(self._propagate_ids(self._seed_ids(start), None))
+        return derived | start
+
+    def gamma_ids(self, assumed_true: set[int]) -> set[int]:
+        """``Γ(J)`` in id space: least model of the reduct ``P^J``.
+
+        The reduct is never materialised: a rule with a negative body atom in
+        *assumed_true* is simply blocked, and the remaining rules propagate
+        through their positive bodies only — exactly the least model of the
+        reduct.
+        """
+        negs = self._neg
+
+        def is_blocked(rule_id: int) -> bool:
+            for atom_id in negs[rule_id]:
+                if atom_id in assumed_true:
+                    return True
+            return False
+
+        return self._propagate_ids(set(), is_blocked)
+
+    def gamma(self, assumed_true: set[Atom]) -> set[Atom]:
+        """``Γ(J)``: the least model of the Gelfond–Lifschitz reduct ``P^J``."""
+        return self.atoms_of(self.gamma_ids(self._seed_ids(assumed_true)))
+
+    def possibly_true_ids(self, true_ids: set[int], false_ids: set[int]) -> set[int]:
+        """Possibly-true atoms in id space, w.r.t. explicit true/false id sets.
+
+        The least fixpoint of the operator that fires a rule whose positive
+        body atoms are all possibly true and not false and whose negative
+        body atoms are all not true — the complement (inside the relevant
+        universe) of the greatest unfounded set ``U_P(I)``.
+        """
+        pos, negs = self._pos, self._neg
+
+        def is_blocked(rule_id: int) -> bool:
+            for atom_id in pos[rule_id]:
+                if atom_id in false_ids:
+                    return True
+            for atom_id in negs[rule_id]:
+                if atom_id in true_ids:
+                    return True
+            return False
+
+        return self._propagate_ids(set(), is_blocked)
+
+    def possibly_true(self, interpretation: "Interpretation") -> set[Atom]:
+        """Atoms with a potentially usable derivation w.r.t. *interpretation*."""
+        true_ids = self._seed_ids(interpretation.true_atoms())
+        false_ids = self._seed_ids(interpretation.false_atoms())
+        return self.atoms_of(self.possibly_true_ids(true_ids, false_ids))
+
+    def tp(self, interpretation: "Interpretation") -> set[Atom]:
+        """A single application of the immediate-consequence operator ``T_P(I)``."""
+        is_true = interpretation.is_true
+        is_false = interpretation.is_false
+        atom_list = self._atom_list
+        derived: set[Atom] = set()
+        for rule_id, pos in enumerate(self._pos):
+            if all(is_true(atom_list[a]) for a in pos) and all(
+                is_false(atom_list[a]) for a in self._neg[rule_id]
+            ):
+                derived.add(atom_list[self._heads[rule_id]])
+        return derived
+
+    # -- component-restricted closures (SCC-modular WFS) ---------------------------
+
+    def _drain_closure(
+        self,
+        counts: dict[int, int],
+        watchers: dict[int, Sequence[int]],
+        stack: list[int],
+        derived: set[int],
+        exclude: set[int],
+    ) -> None:
+        """Shared drain loop of the two component closures.
+
+        Pops derived atom ids, decrements the counters of the rules watching
+        them, and fires heads whose counters hit zero — unless the head is in
+        *exclude* (atoms the caller already accounts for) or already derived.
+        Mutates ``derived`` in place.
+        """
+        heads = self._heads
+        while stack:
+            atom_id = stack.pop()
+            for rule_id in watchers.get(atom_id, ()):
+                counts[rule_id] -= 1
+                if counts[rule_id] == 0:
+                    head_id = heads[rule_id]
+                    if head_id not in exclude and head_id not in derived:
+                        derived.add(head_id)
+                        stack.append(head_id)
+
+    def definite_closure_ids(
+        self,
+        rule_ids: Sequence[int],
+        component: set[int],
+        true_ids: set[int],
+        false_ids: set[int],
+    ) -> set[int]:
+        """Closure of the definite consequences of the component's rules.
+
+        A rule fires when every positive body atom is true (globally known, or
+        derived during this closure) and every negative body atom is false.
+        Atoms outside the component are final, so a rule with a non-true
+        external positive atom can never fire here and is dropped up front.
+        Returns the *newly* derived head ids (disjoint from ``true_ids``).
+        """
+        heads, pos_bodies, neg_bodies = self._heads, self._pos, self._neg
+        derived: set[int] = set()
+        counts: dict[int, int] = {}
+        watchers: dict[int, list[int]] = {}
+        stack: list[int] = []
+
+        for rule_id in rule_ids:
+            if any(a not in false_ids for a in neg_bodies[rule_id]):
+                continue
+            remaining = 0
+            dead = False
+            pending: list[int] = []
+            for atom_id in pos_bodies[rule_id]:
+                if atom_id in true_ids:
+                    continue
+                if atom_id not in component:
+                    dead = True  # external and not true: final, never derivable here
+                    break
+                remaining += 1
+                pending.append(atom_id)
+            if dead:
+                continue
+            if remaining == 0:
+                head_id = heads[rule_id]
+                if head_id not in true_ids and head_id not in derived:
+                    derived.add(head_id)
+                    stack.append(head_id)
+            else:
+                counts[rule_id] = remaining
+                for atom_id in pending:
+                    watchers.setdefault(atom_id, []).append(rule_id)
+
+        self._drain_closure(counts, watchers, stack, derived, true_ids)
+        return derived
+
+    def possible_closure_ids(
+        self,
+        rule_ids: Sequence[int],
+        component: set[int],
+        true_ids: set[int],
+        false_ids: set[int],
+    ) -> set[int]:
+        """The possibly-true atoms of the component w.r.t. the global values.
+
+        A rule provides possible support when no body literal is already
+        refuted: no positive body atom is false (external atoms are final, so
+        "not false" suffices for them; internal ones must additionally be
+        derived possibly true) and no negative body atom is true.  The
+        component atoms outside the result form the component's share of the
+        greatest unfounded set.
+        """
+        heads, pos_bodies, neg_bodies = self._heads, self._pos, self._neg
+        possible: set[int] = set()
+        counts: dict[int, int] = {}
+        watchers: dict[int, list[int]] = {}
+        stack: list[int] = []
+
+        for rule_id in rule_ids:
+            if any(a in true_ids for a in neg_bodies[rule_id]):
+                continue
+            remaining = 0
+            dead = False
+            pending: list[int] = []
+            for atom_id in pos_bodies[rule_id]:
+                if atom_id in false_ids:
+                    dead = True
+                    break
+                if atom_id in component:
+                    remaining += 1
+                    pending.append(atom_id)
+            if dead:
+                continue
+            if remaining == 0:
+                head_id = heads[rule_id]
+                if head_id not in possible:
+                    possible.add(head_id)
+                    stack.append(head_id)
+            else:
+                counts[rule_id] = remaining
+                for atom_id in pending:
+                    watchers.setdefault(atom_id, []).append(rule_id)
+
+        self._drain_closure(counts, watchers, stack, possible, _EMPTY_IDS)
+        return possible
+
+    # -- dependency structure ------------------------------------------------------
+
+    def dependency_components_ids(self) -> list[list[int]]:
+        """SCCs of the atom-id dependency graph, dependencies first.
+
+        The graph has an edge from every rule head to every atom of its body,
+        positive *and* negative: negative edges must participate in the
+        condensation too, otherwise mutually negative atoms (the win/move
+        game's positions, say) would land in different components with no
+        evaluation order between them.
+        """
+        graph: dict[int, list[int]] = {atom_id: [] for atom_id in range(len(self._atom_list))}
+        for rule_id, head_id in enumerate(self._heads):
+            successors = graph[head_id]
+            successors.extend(self._pos[rule_id])
+            successors.extend(self._neg[rule_id])
+        return strongly_connected_components(graph)
+
+    def __repr__(self) -> str:
+        return f"RuleIndex({len(self._rules)} rules, {len(self._atom_list)} atoms)"
+
+
+def strongly_connected_components(
+    graph: Mapping[Hashable, Iterable[Hashable]],
+) -> list[list[Hashable]]:
+    """Tarjan's SCC algorithm, iterative, emitting components dependencies-first.
+
+    *graph* maps each node to its successors (``u → v`` reads "u depends on
+    v"); successors absent from the mapping's key set are treated as isolated
+    nodes.  The returned components are ordered so that every component
+    appears **after** all components it can reach — i.e. in the evaluation
+    order a modular fixpoint computation wants (dependencies before
+    dependents).
+    """
+    indices: dict[Hashable, int] = {}
+    lowlinks: dict[Hashable, int] = {}
+    on_stack: set[Hashable] = set()
+    stack: list[Hashable] = []
+    components: list[list[Hashable]] = []
+    counter = 0
+
+    for root in graph:
+        if root in indices:
+            continue
+        work: list[tuple[Hashable, Iterable]] = [(root, iter(graph.get(root, ())))]
+        indices[root] = lowlinks[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            descended = False
+            for child in successors:
+                if child not in indices:
+                    indices[child] = lowlinks[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(graph.get(child, ()))))
+                    descended = True
+                    break
+                if child in on_stack:
+                    if indices[child] < lowlinks[node]:
+                        lowlinks[node] = indices[child]
+            if descended:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if lowlinks[node] < lowlinks[parent]:
+                    lowlinks[parent] = lowlinks[node]
+            if lowlinks[node] == indices[node]:
+                component: list[Hashable] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components

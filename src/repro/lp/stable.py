@@ -22,7 +22,7 @@ from typing import Iterable, Iterator, Optional
 
 from ..lang.atoms import Atom
 from .grounding import GroundProgram
-from .wfs import gelfond_lifschitz_reduct, least_model_positive, well_founded_model
+from .wfs import well_founded_model
 
 __all__ = ["is_stable_model", "stable_models"]
 
@@ -30,12 +30,12 @@ __all__ = ["is_stable_model", "stable_models"]
 def is_stable_model(program: GroundProgram, candidate: Iterable[Atom]) -> bool:
     """Is *candidate* a stable model of the ground program?
 
-    ``M`` is stable iff ``M`` equals the least model of the reduct ``P^M``.
+    ``M`` is stable iff ``M`` equals the least model of the reduct ``P^M``,
+    computed as one ``Γ`` propagation on the program's rule index (the reduct
+    is represented by blocking rules, never materialised).
     """
     candidate_set = set(candidate)
-    reduct = gelfond_lifschitz_reduct(program, candidate_set)
-    least = least_model_positive(reduct)
-    return least == candidate_set
+    return program.index().gamma(candidate_set) == candidate_set
 
 
 def stable_models(

@@ -8,7 +8,15 @@ classical machinery for normal programs:
 * a stratification test and stratum assignment (negative edges must not occur
   inside a cycle of the dependency graph);
 * the perfect model of a stratified program, computed stratum by stratum with
-  the usual iterated least-fixpoint construction.
+  the usual iterated least-fixpoint construction (each stratum is one
+  worklist propagation over a :class:`~repro.lp.fixpoint.RuleIndex`);
+* the *ground* (atom-level) analogue used by the SCC-modular well-founded
+  evaluation: :func:`ground_dependency_components` condenses the atom
+  dependency graph of a finite ground program into strongly connected
+  components in dependencies-first order, and
+  :func:`ground_component_summary` classifies each component by whether it
+  contains internal negation (only those pay for the alternating unfounded
+  machinery in :func:`repro.lp.wfs.well_founded_model`).
 
 One of the classical results the test-suite re-checks empirically: on a
 stratified program, the well-founded model is total and coincides with the
@@ -23,12 +31,13 @@ from ..exceptions import NotStratifiedError
 from ..lang.atoms import Atom
 from ..lang.program import NormalProgram
 from ..lang.rules import NormalRule
+from .fixpoint import RuleIndex
 from .grounding import GroundProgram, relevant_grounding
-from .interpretation import Interpretation
-from .wfs import least_model_positive
 
 __all__ = [
     "dependency_graph",
+    "ground_dependency_components",
+    "ground_component_summary",
     "stratify",
     "is_stratified",
     "perfect_model",
@@ -54,6 +63,51 @@ def dependency_graph(
         for atom in rule.body_neg:
             negative_edges.add((head_pred, atom.predicate))
     return positive_edges, negative_edges
+
+
+def ground_dependency_components(program: GroundProgram) -> list[list[Atom]]:
+    """SCCs of the atom-level dependency graph, in dependencies-first order.
+
+    The graph has an edge from every rule head to every atom of its body,
+    positive *and* negative: negative edges must participate in the
+    condensation too, otherwise mutually negative atoms (the win/move game's
+    positions, say) would land in different components with no evaluation
+    order between them.  The returned components are ordered so that every
+    component appears after all components it depends on — exactly the order
+    in which :func:`repro.lp.wfs.well_founded_model` evaluates them.
+
+    The condensation itself runs in the rule index's dense atom-id space and
+    is translated back to atoms here.
+    """
+    index = program.index()
+    return [
+        [index.atom_of(atom_id) for atom_id in component]
+        for component in index.dependency_components_ids()
+    ]
+
+
+def ground_component_summary(
+    program: GroundProgram,
+) -> list[tuple[frozenset[Atom], bool]]:
+    """The dependency components of a ground program, flagged for negation.
+
+    Returns ``(atoms, has_internal_negation)`` pairs in dependencies-first
+    order; a component has internal negation iff some rule heading into it
+    negates an atom of the same component.  Components without the flag are
+    resolved by a single linear positive pass in the modular WFS evaluation.
+    """
+    index = program.index()
+    summary: list[tuple[frozenset[Atom], bool]] = []
+    for component_atoms in ground_dependency_components(program):
+        component = frozenset(component_atoms)
+        internal_negation = any(
+            atom in component
+            for head in component_atoms
+            for rule_id in index.rule_ids_for_head(head)
+            for atom in index.neg_body(rule_id)
+        )
+        summary.append((component, internal_negation))
+    return summary
 
 
 def stratify(program: NormalProgram | Iterable[NormalRule]) -> dict[str, int]:
@@ -160,8 +214,9 @@ def perfect_model(
     The grounding is computed with :func:`relevant_grounding` unless a ground
     program is supplied.  Strata are computed from the (non-ground) program
     unless supplied.  Evaluation proceeds stratum by stratum: each stratum's
-    rules are evaluated by a least-fixpoint computation in which negative body
-    atoms refer to the (already fixed) lower strata.
+    rules are evaluated by a least-fixpoint computation (one worklist
+    propagation over a per-stratum rule index) in which negative body atoms
+    refer to the (already fixed) lower strata.
     """
     rules = list(program)
     if strata is None:
@@ -183,5 +238,5 @@ def perfect_model(
             if any(b in model for b in rule.body_neg):
                 continue
             resolved.append(rule.positive_part())
-        model |= least_model_positive(resolved, start=model)
+        model |= RuleIndex(resolved).least_model(start=model)
     return PerfectModel(model, ground.atoms())

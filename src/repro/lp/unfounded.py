@@ -15,6 +15,13 @@ positive body atoms are all potentially derivable and not false in ``I`` and
 whose negative body atoms are all not true in ``I``.  ``U_P(I)`` is then the
 relevant universe minus that least fixpoint.
 
+The least fixpoint runs as a single worklist propagation over the program's
+:class:`~repro.lp.fixpoint.RuleIndex` (rules indexed by their positive body
+atoms with per-rule unsatisfied counters), so it costs time linear in the
+size of the ground program.  The seed's whole-program re-scan loop is
+retained as :func:`possibly_true_atoms_naive` — it is the audit-friendly
+transcription of the definition and the cross-check target of the tests.
+
 Only atoms of the ground program's relevant universe are ever returned:
 every atom outside it is trivially unfounded (it heads no rule), and callers
 (the W_P iteration, the Datalog± engine) treat such atoms as false by default.
@@ -28,7 +35,12 @@ from ..lang.atoms import Atom
 from .grounding import GroundProgram
 from .interpretation import Interpretation
 
-__all__ = ["greatest_unfounded_set", "is_unfounded_set", "possibly_true_atoms"]
+__all__ = [
+    "greatest_unfounded_set",
+    "is_unfounded_set",
+    "possibly_true_atoms",
+    "possibly_true_atoms_naive",
+]
 
 
 def possibly_true_atoms(
@@ -42,13 +54,25 @@ def possibly_true_atoms(
     An atom is *possibly true* iff some rule with that head has (a) every
     positive body atom possibly true and not false in ``I`` and (b) every
     negative body atom not true in ``I``.  This is the complement (inside the
-    relevant universe) of the greatest unfounded set.
+    relevant universe) of the greatest unfounded set.  One worklist
+    propagation over the program's rule index.
+    """
+    return program.index().possibly_true(interpretation)
+
+
+def possibly_true_atoms_naive(
+    program: GroundProgram,
+    interpretation: Interpretation,
+    *,
+    universe: Optional[Iterable[Atom]] = None,
+) -> set[Atom]:
+    """Reference implementation of :func:`possibly_true_atoms`.
+
+    Iterates the defining operator to its least fixpoint by re-scanning every
+    rule each round — quadratic, but a line-by-line match with the definition;
+    the property tests cross-check the worklist implementation against it.
     """
     possibly: set[Atom] = set()
-    # Iterate to a least fixpoint.  A worklist over rules indexed by their
-    # positive body atoms would be asymptotically better; the simple loop is
-    # fine for the program sizes the tests and benchmarks use, and is easier
-    # to audit against the definition.
     changed = True
     rules = program.rules()
     while changed:

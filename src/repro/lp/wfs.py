@@ -1,36 +1,56 @@
 """The well-founded semantics of finite ground normal programs (Sec. 2.6).
 
-Two equivalent constructions are implemented and cross-checked by the tests:
+Three constructions are implemented and cross-checked by the tests:
 
-* :func:`well_founded_model` — the paper's definition: iterate
-  ``W_P(I) = T_P(I) ∪ ¬.U_P(I)`` from the empty interpretation to the least
-  fixpoint, where ``T_P`` is the immediate-consequence operator and ``U_P``
-  the greatest unfounded set (module :mod:`repro.lp.unfounded`).
+* :func:`well_founded_model` — the production path: the ground program's
+  atom-level dependency graph is decomposed into strongly connected
+  components (:func:`repro.lp.stratification.ground_dependency_components`)
+  and evaluated component by component, dependencies first.  A component
+  without internal negation is resolved with one linear worklist pass (a
+  definite-consequence closure plus one unfounded-set sweep); only components
+  with internal negation pay for the alternating ``T``/``U`` machinery, and
+  even there every closure is a linear worklist propagation over the shared
+  :class:`~repro.lp.fixpoint.RuleIndex`.
+* :func:`well_founded_model_naive` — the paper's definition kept verbatim as
+  a reference: iterate ``W_P(I) = T_P(I) ∪ ¬.U_P(I)`` from the empty
+  interpretation to the least fixpoint, re-scanning the whole program each
+  round.
 * :func:`well_founded_model_alternating` — Van Gelder's alternating fixpoint:
   iterate ``Γ²`` (two applications of the Gelfond–Lifschitz transform followed
   by a least-model computation) from ``∅``; its least fixpoint gives the true
-  atoms and ``Γ`` of it the non-false atoms.
+  atoms and ``Γ`` of it the non-false atoms.  ``Γ`` runs on the rule index
+  without materialising reducts.
 
-Both return a :class:`WellFoundedModel`, a thin wrapper around
+All three return a :class:`WellFoundedModel`, a thin wrapper around
 :class:`~repro.lp.interpretation.Interpretation` that also knows the relevant
 atom universe so that atoms outside the ground program are reported false
 (they head no rule, hence are unfounded).
+
+Correctness of the modular evaluation rests on the modularity ("splitting")
+property of the WFS: the condensation of the dependency graph is acyclic, so
+the well-founded model of the whole program restricted to a component equals
+the well-founded model of the component's rules with the (final) values of
+all lower components fixed.  Undefined lower atoms stay undefined markers:
+a rule depending on one can never fire definitely but still provides
+possible support, which is exactly how the two closures below treat it.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator
 
 from ..lang.atoms import Atom, Literal
+from .fixpoint import RuleIndex
 from .grounding import GroundProgram
 from .interpretation import Interpretation
-from .unfounded import greatest_unfounded_set
+from .unfounded import greatest_unfounded_set, possibly_true_atoms_naive
 
 __all__ = [
     "WellFoundedModel",
     "tp_operator",
     "wp_operator",
     "well_founded_model",
+    "well_founded_model_naive",
     "well_founded_model_alternating",
     "least_model_positive",
     "gelfond_lifschitz_reduct",
@@ -142,13 +162,7 @@ def tp_operator(program: GroundProgram, interpretation: Interpretation) -> set[A
     derived when every positive body atom is true in ``I`` and every negative
     body atom is false in ``I``.
     """
-    derived: set[Atom] = set()
-    for rule in program:
-        if all(interpretation.is_true(b) for b in rule.body_pos) and all(
-            interpretation.is_false(b) for b in rule.body_neg
-        ):
-            derived.add(rule.head)
-    return derived
+    return program.index().tp(interpretation)
 
 
 def wp_operator(program: GroundProgram, interpretation: Interpretation) -> Interpretation:
@@ -160,22 +174,95 @@ def wp_operator(program: GroundProgram, interpretation: Interpretation) -> Inter
     return Interpretation(true_atoms, unfounded - true_atoms)
 
 
+# ---------------------------------------------------------------------------
+# SCC-modular indexed evaluation (the production path)
+# ---------------------------------------------------------------------------
+
+
 def well_founded_model(program: GroundProgram) -> WellFoundedModel:
+    """``WFS(P)`` by SCC-modular worklist evaluation.
+
+    The atom dependency graph (an edge from each head to each of its body
+    atoms, positive or negative) is condensed into strongly connected
+    components, which are evaluated dependencies-first:
+
+    * a component without internal negation is *stratified locally*: one
+      definite-consequence closure yields its true atoms and one
+      possibly-true sweep its false atoms — a single linear pass;
+    * a component with internal negation alternates the two closures until
+      they stabilise, which is the ``W_P`` iteration confined to the
+      component (lower components are already final).
+
+    The whole evaluation runs in the rule index's dense atom-id space and is
+    translated back to atoms once at the end.  Agreement with
+    :func:`well_founded_model_naive` and
+    :func:`well_founded_model_alternating` is asserted by the test-suite.
+    """
+    index = program.index()
+    universe = program.atoms()
+    true_ids: set[int] = set()
+    false_ids: set[int] = set()
+    rounds = 0
+
+    for component_ids in index.dependency_components_ids():
+        component = set(component_ids)
+        rule_ids = [
+            rule_id
+            for atom_id in component_ids
+            for rule_id in index.rule_ids_for_head_id(atom_id)
+        ]
+        internal_negation = any(
+            atom_id in component
+            for rule_id in rule_ids
+            for atom_id in index.neg_ids(rule_id)
+        )
+        while True:
+            rounds += 1
+            new_true = index.definite_closure_ids(rule_ids, component, true_ids, false_ids)
+            true_ids |= new_true
+            possible = index.possible_closure_ids(rule_ids, component, true_ids, false_ids)
+            new_false = {
+                atom_id
+                for atom_id in component
+                if atom_id not in possible and atom_id not in false_ids
+            }
+            false_ids |= new_false
+            if not internal_negation or (not new_true and not new_false):
+                break
+
+    interpretation = Interpretation(index.atoms_of(true_ids), index.atoms_of(false_ids))
+    return WellFoundedModel(interpretation, universe, iterations=rounds)
+
+
+def well_founded_model_naive(program: GroundProgram) -> WellFoundedModel:
     """``WFS(P) = lfp(W_P)`` computed by iterating ``W_P`` from ``∅``.
 
+    The seed's direct transcription of the paper's definition, retained as the
+    reference implementation: each round re-scans the whole program for the
+    ``T_P`` consequences and recomputes the greatest unfounded set naively.
     ``W_P`` is monotone on the consistent interpretations compatible with
     ``P``, so the iteration from the empty interpretation reaches the least
     fixpoint after at most ``|relevant universe|`` many steps.
     """
+    universe = program.atoms()
+    rules = program.rules()
     current = Interpretation.empty()
     iterations = 0
     while True:
         iterations += 1
-        nxt = wp_operator(program, current)
+        derived: set[Atom] = set()
+        for rule in rules:
+            if all(current.is_true(b) for b in rule.body_pos) and all(
+                current.is_false(b) for b in rule.body_neg
+            ):
+                derived.add(rule.head)
+        possible = possibly_true_atoms_naive(program, current)
+        unfounded = {a for a in universe if a not in possible}
+        nxt = Interpretation(derived, unfounded - derived)
         if nxt == current:
             break
         current = nxt
-    return WellFoundedModel(current, program.atoms(), iterations=iterations)
+    return WellFoundedModel(current, universe, iterations=iterations)
 
 
 # ---------------------------------------------------------------------------
@@ -183,32 +270,31 @@ def well_founded_model(program: GroundProgram) -> WellFoundedModel:
 # ---------------------------------------------------------------------------
 
 
+def _index_of(program: GroundProgram | Iterable) -> RuleIndex:
+    """The cached index of a :class:`GroundProgram`, or a fresh one for iterables."""
+    if isinstance(program, GroundProgram):
+        return program.index()
+    return RuleIndex(program)
+
+
 def least_model_positive(program: GroundProgram | Iterable, *, start: Iterable[Atom] = ()) -> set[Atom]:
     """Least Herbrand model of a ground *positive* program (fixpoint of T_P).
 
     *program* may be a :class:`GroundProgram` or any iterable of ground rules
     whose negative bodies are empty (negative bodies, if present, are ignored —
-    callers pass reducts, which are positive by construction).
+    callers pass reducts, which are positive by construction).  Computed by a
+    single Dowling–Gallier worklist propagation over the rule index.
     """
-    rules = list(program)
-    model: set[Atom] = set(start)
-    changed = True
-    while changed:
-        changed = False
-        for rule in rules:
-            if rule.head in model:
-                continue
-            if all(b in model for b in rule.body_pos):
-                model.add(rule.head)
-                changed = True
-    return model
+    return _index_of(program).least_model(start)
 
 
 def gelfond_lifschitz_reduct(program: GroundProgram, assumed_true: set[Atom]) -> list:
     """The Gelfond–Lifschitz reduct ``P^J`` w.r.t. the atom set *assumed_true*.
 
     Rules with a negative body atom in *assumed_true* are deleted; the
-    remaining rules lose their negative bodies.
+    remaining rules lose their negative bodies.  (The fixpoint computations
+    no longer materialise reducts — they block rules directly on the index —
+    but the explicit construction remains part of the API and of the tests.)
     """
     reduct = []
     for rule in program:
@@ -219,8 +305,8 @@ def gelfond_lifschitz_reduct(program: GroundProgram, assumed_true: set[Atom]) ->
 
 
 def _gamma(program: GroundProgram, assumed_true: set[Atom]) -> set[Atom]:
-    """``Γ(J)``: least model of the reduct ``P^J``."""
-    return least_model_positive(gelfond_lifschitz_reduct(program, assumed_true))
+    """``Γ(J)``: least model of the reduct ``P^J``, via the rule index."""
+    return _index_of(program).gamma(assumed_true)
 
 
 def well_founded_model_alternating(program: GroundProgram) -> WellFoundedModel:
@@ -230,18 +316,22 @@ def well_founded_model_alternating(program: GroundProgram) -> WellFoundedModel:
     limit ``I*`` is the set of true atoms of the WFS; ``Γ(I*)`` is the set of
     atoms that are not false.  Equivalence with the unfounded-set construction
     is a classical result (Van Gelder 1989) and is asserted by the tests.
+    Each ``Γ`` is one worklist propagation over the shared rule index — the
+    reduct is represented by blocking rules, never materialised.
     """
     universe = program.atoms()
-    current: set[Atom] = set()
+    index = _index_of(program)
+    current: set[int] = set()
     iterations = 0
     while True:
         iterations += 1
-        upper = _gamma(program, current)
-        nxt = _gamma(program, upper)
+        upper = index.gamma_ids(current)
+        nxt = index.gamma_ids(upper)
         if nxt == current:
             break
         current = nxt
-    not_false = _gamma(program, current)
-    false_atoms = {a for a in universe if a not in not_false}
-    interpretation = Interpretation(current, false_atoms)
+    not_false = index.gamma_ids(current)
+    true_atoms = index.atoms_of(current)
+    false_atoms = {a for a in universe if index.atom_id(a) not in not_false}
+    interpretation = Interpretation(true_atoms, false_atoms)
     return WellFoundedModel(interpretation, universe, iterations=iterations)

@@ -1,0 +1,83 @@
+"""Shared hypothesis strategies for the test-suite.
+
+Lives in a plain helper module (pytest puts the ``tests/`` directory on
+``sys.path``) so every test file can import the strategies without relative
+imports — ``tests`` is intentionally not a package.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.lang.atoms import Atom
+from repro.lang.rules import NormalRule
+from repro.lang.terms import Constant, FunctionTerm, Variable
+from repro.lp.grounding import GroundProgram
+
+__all__ = [
+    "constants",
+    "variables",
+    "terms",
+    "ground_terms",
+    "atoms",
+    "ground_atoms",
+    "prop_atoms",
+    "ground_programs",
+]
+
+constants = st.sampled_from([Constant(name) for name in "abcde"])
+variables = st.sampled_from([Variable(name) for name in ("X", "Y", "Z")])
+
+
+def terms(max_depth=2):
+    return st.recursive(
+        constants | variables,
+        lambda children: st.builds(
+            FunctionTerm,
+            st.sampled_from(["f", "g"]),
+            st.lists(children, min_size=1, max_size=2).map(tuple),
+        ),
+        max_leaves=4,
+    )
+
+
+ground_terms = st.recursive(
+    constants,
+    lambda children: st.builds(
+        FunctionTerm,
+        st.sampled_from(["f", "g"]),
+        st.lists(children, min_size=1, max_size=2).map(tuple),
+    ),
+    max_leaves=4,
+)
+
+atoms = st.builds(
+    Atom,
+    st.sampled_from(["p", "q", "r"]),
+    st.lists(terms(), min_size=0, max_size=2).map(tuple),
+)
+
+ground_atoms = st.builds(
+    Atom,
+    st.sampled_from(["p", "q", "r"]),
+    st.lists(ground_terms, min_size=0, max_size=2).map(tuple),
+)
+
+#: Propositional atoms used to build random ground normal programs.
+prop_atoms = st.sampled_from([Atom(name, ()) for name in "abcdefg"])
+
+
+@st.composite
+def ground_programs(draw):
+    """Random small ground (propositional) normal programs."""
+    num_rules = draw(st.integers(min_value=1, max_value=8))
+    rules = []
+    for _ in range(num_rules):
+        head = draw(prop_atoms)
+        body_pos = tuple(draw(st.lists(prop_atoms, max_size=2)))
+        body_neg = tuple(draw(st.lists(prop_atoms, max_size=2)))
+        rules.append(NormalRule(head, body_pos, body_neg))
+    num_facts = draw(st.integers(min_value=0, max_value=3))
+    for _ in range(num_facts):
+        rules.append(NormalRule(draw(prop_atoms)))
+    return GroundProgram(rules)

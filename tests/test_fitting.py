@@ -11,7 +11,7 @@ from repro.lp.grounding import relevant_grounding
 from repro.lp.interpretation import Interpretation
 from repro.lp.wfs import well_founded_model
 
-from .test_properties_hypothesis import ground_programs
+from strategies import ground_programs
 
 
 def ground(text):

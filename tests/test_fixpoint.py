@@ -1,0 +1,244 @@
+"""Unit tests for the worklist fixpoint substrate (:mod:`repro.lp.fixpoint`)
+and the SCC-modular well-founded evaluation built on top of it."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.lang.atoms import Atom
+from repro.lang.parser import parse_atom, parse_normal_program
+from repro.lang.rules import NormalRule
+from repro.lp.fixpoint import RuleIndex, strongly_connected_components
+from repro.lp.grounding import (
+    GroundProgram,
+    PredicateIndex,
+    _relevant_grounding_naive,
+    relevant_grounding,
+)
+from repro.lp.interpretation import Interpretation
+from repro.lp.stratification import (
+    ground_component_summary,
+    ground_dependency_components,
+)
+from repro.lp.wfs import (
+    gelfond_lifschitz_reduct,
+    well_founded_model,
+    well_founded_model_naive,
+)
+
+from strategies import ground_programs
+
+
+def atoms(*names):
+    return [Atom(name, ()) for name in names]
+
+
+def ground(text):
+    """Ground a propositional program verbatim (keep underivable rules too)."""
+    program = parse_normal_program(text)
+    if any(not rule.is_ground() for rule in program):
+        return relevant_grounding(program)
+    result = GroundProgram()
+    for rule in program:
+        result.add(rule)
+    return result
+
+
+class TestRuleIndex:
+    def test_interning_is_dense_and_stable(self):
+        a, b, c = atoms("a", "b", "c")
+        index = RuleIndex([NormalRule(a, (b,), (c,)), NormalRule(b, (c,), ())])
+        assert index.atom_count() == 3
+        assert len(index) == 2
+        for atom in (a, b, c):
+            assert index.atom_of(index.atom_id(atom)) == atom
+        assert index.atom_id(Atom("zzz", ())) is None
+        assert index.atoms() == {a, b, c}
+
+    def test_bodies_are_deduplicated(self):
+        a, b = atoms("a", "b")
+        index = RuleIndex([NormalRule(a, (b, b), (b, b))])
+        assert index.pos_body(0) == (b,)
+        assert index.neg_body(0) == (b,)
+
+    def test_watchers_and_head_index(self):
+        a, b, c = atoms("a", "b", "c")
+        rule = NormalRule(a, (b,), (c,))
+        index = RuleIndex([rule, NormalRule(a, (c,), ())])
+        assert list(index.rule_ids_for_head(a)) == [0, 1]
+        assert list(index.watchers_pos_id(index.atom_id(b))) == [0]
+        assert list(index.watchers_neg_id(index.atom_id(c))) == [0]
+        assert index.rule(0) is rule
+
+    def test_least_model_propagates_chains(self):
+        program = ground("p. p -> q. q -> r. s -> t.")
+        index = program.index()
+        assert index.least_model() == set(atoms("p", "q", "r"))
+
+    def test_least_model_with_seed(self):
+        program = ground("s -> t.")
+        index = program.index()
+        assert index.least_model(start=atoms("s")) == set(atoms("s", "t"))
+        # Seed atoms outside the program survive into the result.
+        assert atoms("zzz")[0] in index.least_model(start=atoms("zzz"))
+
+    def test_least_model_ignores_negative_bodies(self):
+        program = ground("p. p, not q -> r.")
+        assert program.index().least_model() == set(atoms("p", "r"))
+
+    def test_facts_fired_during_init_are_not_double_counted(self):
+        # Regression test: a head fired while counters are still being set up
+        # must decrement its watchers exactly once.  Here both a-rules have an
+        # empty positive body and fire during initialisation; c must still
+        # wait for b, which is never derivable.
+        program = ground("not a, not c -> a. not c, not b -> a. b, a -> c.")
+        assert program.index().gamma(set()) == set(atoms("a"))
+
+    @settings(max_examples=60, deadline=None)
+    @given(ground_programs())
+    def test_gamma_equals_least_model_of_the_materialised_reduct(self, program):
+        index = program.index()
+        for assumed in (set(), set(program.atoms()), set(list(program.atoms())[:2])):
+            reduct = gelfond_lifschitz_reduct(program, assumed)
+            assert index.gamma(assumed) == RuleIndex(reduct).least_model()
+
+    @settings(max_examples=60, deadline=None)
+    @given(ground_programs())
+    def test_tp_matches_the_definition(self, program):
+        model = well_founded_model(program)
+        interpretation = Interpretation(model.true_atoms(), model.false_atoms())
+        expected = {
+            rule.head
+            for rule in program
+            if all(interpretation.is_true(b) for b in rule.body_pos)
+            and all(interpretation.is_false(b) for b in rule.body_neg)
+        }
+        assert program.index().tp(interpretation) == expected
+
+
+class TestStronglyConnectedComponents:
+    def test_cycle_is_one_component(self):
+        graph = {1: [2], 2: [3], 3: [1], 4: [1]}
+        components = strongly_connected_components(graph)
+        assert sorted(map(sorted, components)) == [[1, 2, 3], [4]]
+
+    def test_dependencies_come_first(self):
+        graph = {"a": ["b"], "b": ["c"], "c": [], "d": ["a"]}
+        order = strongly_connected_components(graph)
+        flat = [node for component in order for node in component]
+        assert flat.index("c") < flat.index("b") < flat.index("a") < flat.index("d")
+
+    def test_successors_missing_from_keys_are_isolated_nodes(self):
+        components = strongly_connected_components({"a": ["b"]})
+        assert sorted(map(sorted, components)) == [["a"], ["b"]]
+
+    def test_self_loop(self):
+        assert strongly_connected_components({"a": ["a"]}) == [["a"]]
+
+
+class TestGroundDependencyComponents:
+    def test_win_move_positions_share_a_component(self):
+        # a and b sit on a mutual move cycle: their win-atoms are mutually
+        # negative and must land in one component, after the move facts.
+        program = ground(
+            "move(a, b). move(b, a). move(b, c). move(c, d)."
+            " move(X, Y), not win(Y) -> win(X)."
+        )
+        components = ground_dependency_components(program)
+        by_atom = {}
+        for position, component in enumerate(components):
+            for atom in component:
+                by_atom[atom] = position
+        win_a, win_b = parse_atom("win(a)"), parse_atom("win(b)")
+        assert by_atom[win_a] == by_atom[win_b]
+        assert by_atom[parse_atom("move(a, b)")] < by_atom[win_a]
+
+    def test_summary_flags_internal_negation(self):
+        program = ground("p. not q -> r. not s -> s.")
+        summary = dict(ground_component_summary(program))
+        assert summary[frozenset(atoms("s"))] is True
+        assert summary[frozenset(atoms("r"))] is False
+        assert summary[frozenset(atoms("p"))] is False
+
+    def test_positive_cycle_has_no_internal_negation_flag(self):
+        program = ground("q -> p. p -> q.")
+        summary = ground_component_summary(program)
+        assert summary == [(frozenset(atoms("p", "q")), False)]
+
+
+class TestSccModularEvaluator:
+    def test_agrees_with_naive_on_the_win_move_game(self, win_move_ground):
+        indexed = well_founded_model(win_move_ground)
+        naive = well_founded_model_naive(win_move_ground)
+        assert indexed.true_atoms() == naive.true_atoms()
+        assert indexed.false_atoms() == naive.false_atoms()
+
+    def test_undefined_external_atom_blocks_truth_but_not_support(self):
+        # u is undefined (odd loop); t <- u must stay undefined, not false.
+        program = ground("not u -> u. u -> t.")
+        model = well_founded_model(program)
+        assert model.is_undefined(parse_atom("u"))
+        assert model.is_undefined(parse_atom("t"))
+
+    def test_negation_of_undefined_external_atom_is_undefined(self):
+        program = ground("not u -> u. not u -> t.")
+        model = well_founded_model(program)
+        assert model.is_undefined(parse_atom("t"))
+
+    def test_stratified_chain_resolves_in_one_pass_per_component(self):
+        program = ground("p. p -> q. not q -> r. not r -> s.")
+        model = well_founded_model(program)
+        assert model.is_true(parse_atom("p"))
+        assert model.is_true(parse_atom("q"))
+        assert model.is_false(parse_atom("r"))
+        assert model.is_true(parse_atom("s"))
+        # Stratified: one round per component (no alternation anywhere).
+        assert model.iterations == len(ground_dependency_components(program))
+
+
+class TestSemiNaiveGrounding:
+    def test_matches_the_naive_reference_on_recursion(self):
+        text = """
+        edge(a, b). edge(b, c). edge(c, d).
+        edge(X, Y) -> path(X, Y).
+        path(X, Y), edge(Y, Z) -> path(X, Z).
+        node(a). node(X), not path(a, X) -> far(X).
+        """
+        program = parse_normal_program(text)
+        semi = relevant_grounding(program)
+        naive = _relevant_grounding_naive(parse_normal_program(text))
+        assert set(semi.rules()) == set(naive.rules())
+
+    def test_empty_positive_body_rules_are_instantiated_and_seed_candidates(self):
+        # ``not q -> p`` has no positive body; its head must still become a
+        # candidate so that rules over p are instantiated.
+        program = parse_normal_program("not q -> p. p -> r.")
+        ground_program = relevant_grounding(program)
+        assert parse_atom("r") in ground_program.head_atoms()
+        model = well_founded_model(ground_program)
+        assert model.is_true(parse_atom("p"))
+        assert model.is_true(parse_atom("r"))
+
+    def test_predicate_index_deduplicates(self):
+        index = PredicateIndex()
+        atom = parse_atom("p(a)")
+        assert index.add(atom) is True
+        assert index.add(atom) is False
+        assert len(index) == 1
+        assert list(index.get("p")) == [atom]
+        assert index.get("q") == ()
+        assert atom in index
+
+
+class TestIncrementalIndex:
+    def test_index_stays_in_sync_with_added_rules(self):
+        program = GroundProgram()
+        a, b = atoms("a", "b")
+        program.add(NormalRule(a))
+        index = program.index()
+        assert index.least_model() == {a}
+        program.add(NormalRule(b, (a,), ()))
+        assert program.index() is index  # same object, grown in place
+        assert index.least_model() == {a, b}
+        model = well_founded_model(program)
+        assert model.is_true(a) and model.is_true(b)

@@ -16,78 +16,25 @@ from __future__ import annotations
 from hypothesis import given, settings, strategies as st
 
 from repro.lang.atoms import Atom, Literal
-from repro.lang.rules import NormalRule
 from repro.lang.substitution import Substitution, match
 from repro.lang.terms import Constant, FunctionTerm, Variable
-from repro.lp.grounding import GroundProgram
 from repro.lp.stable import is_stable_model, stable_models
 from repro.lp.stratification import is_stratified
-from repro.lp.unfounded import greatest_unfounded_set, is_unfounded_set
+from repro.lp.unfounded import (
+    greatest_unfounded_set,
+    is_unfounded_set,
+    possibly_true_atoms,
+    possibly_true_atoms_naive,
+)
 from repro.lp.interpretation import Interpretation
-from repro.lp.wfs import well_founded_model, well_founded_model_alternating
+from repro.lp.wfs import (
+    well_founded_model,
+    well_founded_model_alternating,
+    well_founded_model_naive,
+)
 from repro.chase.types import canonical_type_key
 
-
-# ---------------------------------------------------------------------------
-# Strategies
-# ---------------------------------------------------------------------------
-
-constants = st.sampled_from([Constant(name) for name in "abcde"])
-variables = st.sampled_from([Variable(name) for name in ("X", "Y", "Z")])
-
-
-def terms(max_depth=2):
-    return st.recursive(
-        constants | variables,
-        lambda children: st.builds(
-            FunctionTerm,
-            st.sampled_from(["f", "g"]),
-            st.lists(children, min_size=1, max_size=2).map(tuple),
-        ),
-        max_leaves=4,
-    )
-
-
-ground_terms = st.recursive(
-    constants,
-    lambda children: st.builds(
-        FunctionTerm,
-        st.sampled_from(["f", "g"]),
-        st.lists(children, min_size=1, max_size=2).map(tuple),
-    ),
-    max_leaves=4,
-)
-
-atoms = st.builds(
-    Atom,
-    st.sampled_from(["p", "q", "r"]),
-    st.lists(terms(), min_size=0, max_size=2).map(tuple),
-)
-
-ground_atoms = st.builds(
-    Atom,
-    st.sampled_from(["p", "q", "r"]),
-    st.lists(ground_terms, min_size=0, max_size=2).map(tuple),
-)
-
-#: Propositional atoms used to build random ground normal programs.
-prop_atoms = st.sampled_from([Atom(name, ()) for name in "abcdefg"])
-
-
-@st.composite
-def ground_programs(draw):
-    """Random small ground (propositional) normal programs."""
-    num_rules = draw(st.integers(min_value=1, max_value=8))
-    rules = []
-    for _ in range(num_rules):
-        head = draw(prop_atoms)
-        body_pos = tuple(draw(st.lists(prop_atoms, max_size=2)))
-        body_neg = tuple(draw(st.lists(prop_atoms, max_size=2)))
-        rules.append(NormalRule(head, body_pos, body_neg))
-    num_facts = draw(st.integers(min_value=0, max_value=3))
-    for _ in range(num_facts):
-        rules.append(NormalRule(draw(prop_atoms)))
-    return GroundProgram(rules)
+from strategies import atoms, ground_atoms, ground_programs, ground_terms, terms
 
 
 # ---------------------------------------------------------------------------
@@ -167,6 +114,34 @@ class TestWfsProperties:
         via_alternating = well_founded_model_alternating(program)
         assert via_unfounded.true_atoms() == via_alternating.true_atoms()
         assert via_unfounded.false_atoms() == via_alternating.false_atoms()
+
+    @settings(max_examples=80, deadline=None)
+    @given(ground_programs())
+    def test_indexed_scc_evaluation_matches_the_naive_reference(self, program):
+        indexed = well_founded_model(program)
+        naive = well_founded_model_naive(program)
+        assert indexed.true_atoms() == naive.true_atoms()
+        assert indexed.false_atoms() == naive.false_atoms()
+
+    @settings(max_examples=80, deadline=None)
+    @given(ground_programs())
+    def test_naive_and_alternating_constructions_agree(self, program):
+        naive = well_founded_model_naive(program)
+        alternating = well_founded_model_alternating(program)
+        assert naive.true_atoms() == alternating.true_atoms()
+        assert naive.false_atoms() == alternating.false_atoms()
+
+    @settings(max_examples=60, deadline=None)
+    @given(ground_programs())
+    def test_worklist_possibly_true_matches_the_naive_reference(self, program):
+        model = well_founded_model(program)
+        for interpretation in (
+            Interpretation.empty(),
+            Interpretation(model.true_atoms(), model.false_atoms()),
+        ):
+            assert possibly_true_atoms(program, interpretation) == possibly_true_atoms_naive(
+                program, interpretation
+            )
 
     @settings(max_examples=40, deadline=None)
     @given(ground_programs())
