@@ -1,0 +1,185 @@
+"""Query-rewriting benchmark — magic-sets vs. classic bottom-up answering.
+
+Disjoint reachability chains (:func:`repro.bench.generators.chain_reachability_workload`)
+scaled by the number of chains; a query about the last node of chain 0 is
+*selective*: only one chain is relevant to it.  For every size the benchmark
+answers the query twice through :class:`~repro.core.engine.WellFoundedEngine` —
+classic bottom-up (chase segment + full WFS) and goal-directed
+(``rewrite=True``, magic-restricted grounding) — checks that the answers are
+identical, and records the ground-program sizes and cold wall-clock times.
+
+Running the module directly prints the comparison table **and** writes the
+machine-readable ``BENCH_query_rewrite.json`` next to the repository root, so
+the rewritten-vs-unrewritten trajectory is tracked across PRs (the ROADMAP's
+BENCH-trajectory item).  Pass explicit chain counts on the command line for a
+quick smoke run (``python benchmarks/bench_query_rewrite.py 2 3``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.generators import chain_reachability_workload
+from repro.bench.harness import ResultTable, time_call
+from repro.core.engine import WellFoundedEngine
+
+#: Edges per chain; the selective query targets the last node of chain 0.
+CHAIN_LENGTH = 12
+
+SMOKE_SIZES = [2, 4]
+#: Chain counts for the standalone report; the largest is where the JSON's
+#: headline reduction/speedup is measured.
+REPORT_SIZES = [2, 4, 8, 16]
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_query_rewrite.json"
+
+
+def _workload(chains: int):
+    program, database = chain_reachability_workload(chains, CHAIN_LENGTH)
+    positive = f"? reach(c0_{CHAIN_LENGTH})"
+    negated = f"? node(c0_{CHAIN_LENGTH}), not reach(c0_{CHAIN_LENGTH})"
+    return program, database, positive, negated
+
+
+@pytest.mark.experiment("rewrite")
+@pytest.mark.parametrize("chains", SMOKE_SIZES)
+def test_classic_query_answering(benchmark, chains):
+    """Classic bottom-up answering (full chase segment + full WFS)."""
+    program, database, positive, _ = _workload(chains)
+
+    def run():
+        return WellFoundedEngine(program, database).holds(positive)
+
+    assert benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+@pytest.mark.experiment("rewrite")
+@pytest.mark.parametrize("chains", SMOKE_SIZES)
+def test_rewritten_query_answering(benchmark, chains):
+    """Goal-directed answering through the magic-sets rewriting."""
+    program, database, positive, _ = _workload(chains)
+
+    def run():
+        return WellFoundedEngine(program, database).holds(positive, rewrite=True)
+
+    assert benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+@pytest.mark.experiment("rewrite")
+@pytest.mark.parametrize("chains", SMOKE_SIZES)
+def test_rewritten_answers_match_classic(chains):
+    """Rewritten answers must be bit-identical to unrewritten answers."""
+    program, database, positive, negated = _workload(chains)
+    engine = WellFoundedEngine(program, database)
+    for query in (positive, negated, "? reach(X)", f"? unreachable(c1_{CHAIN_LENGTH})"):
+        assert engine.holds(query) == engine.holds(query, rewrite=True), query
+    assert engine.answer("? reach(X)") == engine.answer("? reach(X)", rewrite=True)
+
+
+def measure(sizes=None, *, repeats: int = 3) -> dict:
+    """Compare classic and rewritten answering over growing chain counts.
+
+    Each measurement is *cold*: engine construction, grounding and model
+    computation all happen inside the timed region, because the point of the
+    rewriting is to avoid materialising state a single query never needs.
+    Returns the JSON-ready dictionary (see :func:`report`).
+    """
+    sizes = list(sizes) if sizes else list(REPORT_SIZES)
+    rows = []
+    for chains in sizes:
+        program, database, positive, negated = _workload(chains)
+
+        classic_seconds = time_call(
+            lambda: WellFoundedEngine(program, database).holds(positive),
+            repeats=repeats,
+        )
+        rewritten_seconds = time_call(
+            lambda: WellFoundedEngine(program, database).holds(positive, rewrite=True),
+            repeats=repeats,
+        )
+
+        probe = WellFoundedEngine(program, database)
+        classic_answer = probe.holds(positive)
+        classic_ground = len(probe.ground_program())
+        rewritten_answer = probe.holds(positive, rewrite=True)
+        stats = probe.last_query_stats
+        answers_equal = classic_answer == rewritten_answer and (
+            probe.holds(negated) == probe.holds(negated, rewrite=True)
+        )
+
+        rows.append(
+            {
+                "chains": chains,
+                "chain_length": CHAIN_LENGTH,
+                "db_facts": len(database),
+                "classic_ground_rules": classic_ground,
+                "rewritten_ground_rules": stats["ground_rules"],
+                "reduction_ground_rules": classic_ground / stats["ground_rules"]
+                if stats["ground_rules"]
+                else float("inf"),
+                "classic_seconds": classic_seconds,
+                "rewritten_seconds": rewritten_seconds,
+                "speedup_classic_over_rewritten": classic_seconds / rewritten_seconds
+                if rewritten_seconds > 0
+                else float("inf"),
+                "mode": stats["mode"],
+                "answers_equal": answers_equal,
+            }
+        )
+    largest = rows[-1]
+    return {
+        "experiment": "query_rewrite",
+        "workload": f"chain_reachability_workload(chains, {CHAIN_LENGTH})",
+        "query": f"? reach(c0_{CHAIN_LENGTH})",
+        "sizes": sizes,
+        "results": rows,
+        "largest_size": largest["chains"],
+        "largest_size_reduction_ground_rules": largest["reduction_ground_rules"],
+        "largest_size_speedup": largest["speedup_classic_over_rewritten"],
+        "all_answers_equal": all(row["answers_equal"] for row in rows),
+    }
+
+
+def report(sizes=None) -> dict:
+    """Print the comparison table and write ``BENCH_query_rewrite.json``."""
+    data = measure(sizes)
+    table = ResultTable(
+        "Query rewriting — magic-restricted vs. full grounding on selective queries",
+        [
+            "chains",
+            "classic rules",
+            "rewritten rules",
+            "reduction",
+            "classic (s)",
+            "rewritten (s)",
+            "speedup",
+        ],
+    )
+    for row in data["results"]:
+        table.add_row(
+            row["chains"],
+            row["classic_ground_rules"],
+            row["rewritten_ground_rules"],
+            f"{row['reduction_ground_rules']:.1f}x",
+            row["classic_seconds"],
+            row["rewritten_seconds"],
+            f"{row['speedup_classic_over_rewritten']:.1f}x",
+        )
+    table.print()
+    print(
+        f"\nlargest size ({data['largest_size']} chains): ground-rule reduction "
+        f"{data['largest_size_reduction_ground_rules']:.1f}x, wall-clock speedup "
+        f"{data['largest_size_speedup']:.1f}x, answers equal: {data['all_answers_equal']}"
+    )
+    RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+    return data
+
+
+if __name__ == "__main__":
+    cli_sizes = [int(arg) for arg in sys.argv[1:]] or None
+    report(cli_sizes)

@@ -23,6 +23,7 @@ Sub-packages
 ``repro.lp``     classical WFS substrate for finite ground normal programs
 ``repro.chase``  guarded chase forests, atom types, locality machinery
 ``repro.core``   the paper's contribution: WFS for guarded normal Datalog±
+``repro.rewrite`` magic-sets query-driven rewriting for goal-directed answering
 ``repro.dl``     DL-Lite_{R,⊓,not} front-end translated to Datalog±
 ``repro.bench``  workload generators and the measurement harness
 """
@@ -138,10 +139,14 @@ __all__ = [
     "WellFoundedEngine",
     "answer_query",
     "holds_under_wfs",
+    "shared_engine",
     "StratifiedDatalogPM",
     "Ontology",
     "OntologyReasoner",
     "translate_ontology",
+    "rewrite_for_query",
+    "ground_magic",
+    "MagicPlan",
 ]
 
 
@@ -153,7 +158,13 @@ def __getattr__(name: str):
     lazily keeps ``import repro`` cheap for users who only need the language
     or LP layers.
     """
-    if name in ("WellFoundedEngine", "answer_query", "holds_under_wfs", "StratifiedDatalogPM"):
+    if name in (
+        "WellFoundedEngine",
+        "answer_query",
+        "holds_under_wfs",
+        "shared_engine",
+        "StratifiedDatalogPM",
+    ):
         from . import core
 
         return getattr(core, name)
@@ -161,4 +172,8 @@ def __getattr__(name: str):
         from . import dl
 
         return getattr(dl, name)
+    if name in ("rewrite_for_query", "ground_magic", "MagicPlan"):
+        from . import rewrite
+
+        return getattr(rewrite, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -39,6 +39,7 @@ __all__ = [
     "win_move_game",
     "win_move_datalog_pm",
     "reachability_program",
+    "chain_reachability_workload",
     "combined_complexity_workload",
     "random_guarded_program",
     "university_ontology",
@@ -246,6 +247,58 @@ def reachability_program(
             if source != target and rng.random() < edge_prob:
                 rules.append(NormalRule(Atom("edge", (Constant(source), Constant(target)))))
     return NormalProgram(rules)
+
+
+# ---------------------------------------------------------------------------
+# Query-rewriting benchmark — disjoint reachability chains
+# ---------------------------------------------------------------------------
+
+
+def chain_reachability_workload(
+    num_chains: int,
+    chain_length: int,
+) -> tuple[DatalogPMProgram, Database]:
+    """Disjoint reachability chains as a guarded Datalog± program + database.
+
+    ``num_chains`` chains of ``chain_length`` edges each, with nodes named
+    ``c<chain>_<index>``; rules:
+
+    * ``source(X) → reach(X)``
+    * ``edge(X, Y), reach(X) → reach(Y)``  (guarded by ``edge``)
+    * ``node(X), not reach(X) → unreachable(X)``
+
+    A query about one node of one chain (e.g. ``? reach(c0_{L})``) is
+    *selective*: its magic-sets rewriting only grounds the target's own chain,
+    so the rewritten-vs-unrewritten ground-rule ratio grows linearly with
+    ``num_chains``.  This is the workload behind ``BENCH_query_rewrite.json``.
+    Deterministic by construction.
+    """
+    x, y = Variable("X"), Variable("Y")
+    program = DatalogPMProgram(
+        [
+            NTGD((Atom("source", (x,)),), Atom("reach", (x,)), label="seed"),
+            NTGD(
+                (Atom("edge", (x, y)), Atom("reach", (x,))),
+                Atom("reach", (y,)),
+                label="step",
+            ),
+            NTGD(
+                (Atom("node", (x,)),),
+                Atom("unreachable", (x,)),
+                (Atom("reach", (x,)),),
+                label="complement",
+            ),
+        ]
+    )
+    facts: list[Atom] = []
+    for chain in range(num_chains):
+        names = [f"c{chain}_{i}" for i in range(chain_length + 1)]
+        facts.append(Atom("source", (Constant(names[0]),)))
+        for left, right in zip(names, names[1:]):
+            facts.append(Atom("edge", (Constant(left), Constant(right))))
+        for name in names:
+            facts.append(Atom("node", (Constant(name),)))
+    return program, Database(facts)
 
 
 # ---------------------------------------------------------------------------

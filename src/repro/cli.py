@@ -88,7 +88,37 @@ def build_argument_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print engine statistics (chase depth, node count, convergence)",
     )
+    parser.add_argument(
+        "--rewrite",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "answer --query goal-directedly via magic-sets rewriting "
+            "(--no-rewrite forces the classic bottom-up evaluation)"
+        ),
+    )
+    parser.add_argument(
+        "--sips",
+        choices=["left-to-right", "bound-first"],
+        default="left-to-right",
+        help="sideways-information-passing strategy used by --rewrite",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print per-query grounding statistics (mode, ground-rule counts, fallbacks)",
+    )
     return parser
+
+
+def _format_query_stats(stats: dict) -> str:
+    """One-line ``key=value`` rendering of a query's grounding statistics."""
+    parts = []
+    for key, value in stats.items():
+        if isinstance(value, float):
+            value = f"{value:.4f}"
+        parts.append(f"{key}={value}")
+    return " ".join(parts)
 
 
 def _read(path: str) -> str:
@@ -105,14 +135,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_argument_parser()
     args = parser.parse_args(argv)
 
+    # The full model is only materialised when something actually needs it
+    # (--stats / --atom / --dump-model); with --rewrite, plain --query runs
+    # stay goal-directed and never pay for the whole chase segment.
+    needs_model = args.stats or args.atom or args.dump_model
     try:
         program, database = parse_program(_read(args.program))
         if args.database:
             extra = parse_database(_read(args.database))
             database = database.copy()
             database.update(extra)
-        engine = WellFoundedEngine(program, database, max_depth=args.max_depth)
-        model = engine.model()
+        engine = WellFoundedEngine(
+            program,
+            database,
+            max_depth=args.max_depth,
+            rewrite=args.rewrite,
+            sips=args.sips,
+        )
+        model = engine.model() if needs_model else None
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -143,6 +183,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if baseline is not None:
             line += f"   [stratified: {'yes' if baseline.holds(text) else 'no'}]"
         print(line)
+        if args.verbose and engine.last_query_stats is not None:
+            print(f"#   {_format_query_stats(engine.last_query_stats)}")
 
     for text in args.atom:
         try:

@@ -1,13 +1,25 @@
 """Convenience entry points for NBCQ answering under WFS(D, Σ) (Theorem 14).
 
 These module-level functions wrap :class:`~repro.core.engine.WellFoundedEngine`
-for one-shot use; applications that ask several queries against the same
-(D, Σ) should construct an engine once and reuse it (the chase segment and
-the fixpoint are cached on the engine).
+for one-shot use.  Because real workloads ask *several* one-shot questions
+against the same (D, Σ), the helpers share a small module-level LRU of engines
+keyed by the identity of the program/database pair (plus the engine options):
+repeated ``holds_under_wfs`` calls against the same objects reuse the cached
+engine — and with it the chase segment, the ground program, its rule index and
+any per-query rewriting results — instead of rebuilding everything from
+scratch.  Applications that want full control can still construct a
+:class:`WellFoundedEngine` themselves (or call :func:`shared_engine`).
+
+Cache keys use *identity* (``id``) for program/database objects — holding a
+strong reference to the keyed objects so identities cannot be recycled — and
+*value* for textual programs/databases.  Anything else (e.g. a one-off
+generator of atoms) bypasses the cache.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Iterable, Optional, Union
 
 from ..lang.atoms import Atom, Literal
@@ -16,22 +28,173 @@ from ..lang.queries import ConjunctiveQuery, NormalBCQ
 from ..lang.terms import Constant, Term
 from .engine import DatalogWellFoundedModel, WellFoundedEngine
 
-__all__ = ["holds_under_wfs", "answer_query", "certain_answers"]
+__all__ = [
+    "holds_under_wfs",
+    "answer_query",
+    "certain_answers",
+    "shared_engine",
+    "clear_engine_cache",
+    "engine_cache_info",
+]
+
+#: Maximum number of (program, database, options) engines kept alive.
+ENGINE_CACHE_SIZE = 16
+
+_cache_lock = threading.Lock()
+#: key → (program ref, database ref, engine, per-engine lock); the refs pin
+#: the ids used in the key, the lock serialises helper calls on the shared
+#: engine (the engine's lazy chase/model/rewrite paths are not thread-safe)
+_engine_cache: "OrderedDict[tuple, tuple[object, object, WellFoundedEngine, threading.RLock]]" = (
+    OrderedDict()
+)
+_cache_hits = 0
+_cache_misses = 0
+
+
+def _cache_key(program, database, engine_options: dict) -> Optional[tuple]:
+    """A hashable cache key, or ``None`` when the inputs cannot be keyed safely.
+
+    Program/database objects are keyed by identity *plus size*: both types are
+    append-only (``add``/``update``, no removal), so any effective mutation
+    after caching changes ``len`` and lands on a fresh key instead of serving
+    answers from an engine built against the pre-mutation state.
+    """
+    try:
+        options = tuple(sorted(engine_options.items()))
+        hash(options)
+    except TypeError:
+        return None
+    if isinstance(program, str):
+        program_key: object = ("text", program)
+    elif isinstance(program, DatalogPMProgram):
+        program_key = ("id", id(program), len(program))
+    else:
+        return None
+    if database is None or isinstance(database, str):
+        database_key: object = ("value", database)
+    elif isinstance(database, Database):
+        database_key = ("id", id(database), len(database))
+    else:
+        return None  # arbitrary iterables may be one-shot; never cache them
+    return (program_key, database_key, options)
+
+
+def _shared_entry(
+    program, database, engine_options: dict
+) -> tuple[WellFoundedEngine, Optional[threading.RLock]]:
+    """The cached engine plus its serialisation lock (``None`` when uncached)."""
+    global _cache_hits, _cache_misses
+    key = _cache_key(program, database, engine_options)
+    if key is None:
+        return WellFoundedEngine(program, database, **engine_options), None
+    with _cache_lock:
+        entry = _engine_cache.get(key)
+        if entry is not None:
+            _engine_cache.move_to_end(key)
+            _cache_hits += 1
+            return entry[2], entry[3]
+    engine = WellFoundedEngine(program, database, **engine_options)
+    lock = threading.RLock()
+    with _cache_lock:
+        # Another thread may have raced us here; keep whichever engine landed
+        # first so every caller agrees on one engine per key.
+        entry = _engine_cache.get(key)
+        if entry is not None:
+            _cache_hits += 1
+            return entry[2], entry[3]
+        _cache_misses += 1
+        # Purge entries this one supersedes: same identity-keyed objects at an
+        # older size.  Sizes only grow, so those keys can never be hit again;
+        # without the purge a mutate-and-query loop fills the LRU with dead
+        # engines and evicts live ones.
+        for stale in [
+            k
+            for k in _engine_cache
+            if k[2] == key[2]
+            and _supersedes(key[0], k[0])
+            and _supersedes(key[1], k[1])
+            and k != key
+        ]:
+            del _engine_cache[stale]
+        _engine_cache[key] = (program, database, engine, lock)
+        while len(_engine_cache) > ENGINE_CACHE_SIZE:
+            _engine_cache.popitem(last=False)
+    return engine, lock
+
+
+def _supersedes(new_component, old_component) -> bool:
+    """Does the new key component make the old one permanently unreachable?"""
+    if new_component == old_component:
+        return True
+    return (
+        isinstance(new_component, tuple)
+        and isinstance(old_component, tuple)
+        and len(new_component) == 3
+        and len(old_component) == 3
+        and new_component[0] == "id"
+        and old_component[0] == "id"
+        and new_component[1] == old_component[1]
+    )
+
+
+def shared_engine(
+    program: Union[DatalogPMProgram, str],
+    database: Union[Database, Iterable[Atom], str, None] = None,
+    **engine_options,
+) -> WellFoundedEngine:
+    """A :class:`WellFoundedEngine` from the module-level LRU (built on miss).
+
+    The returned engine is shared across callers of the same
+    program/database/options triple and is **not** internally thread-safe;
+    concurrent users should either go through :func:`holds_under_wfs` /
+    :func:`answer_query` (which serialise per engine) or synchronise
+    themselves.
+    """
+    engine, _ = _shared_entry(program, database, engine_options)
+    return engine
+
+
+def clear_engine_cache() -> None:
+    """Drop every cached engine (used by tests and long-running services)."""
+    global _cache_hits, _cache_misses
+    with _cache_lock:
+        _engine_cache.clear()
+        _cache_hits = 0
+        _cache_misses = 0
+
+
+def engine_cache_info() -> dict:
+    """Hit/miss/size counters of the shared engine cache."""
+    with _cache_lock:
+        return {
+            "size": len(_engine_cache),
+            "maxsize": ENGINE_CACHE_SIZE,
+            "hits": _cache_hits,
+            "misses": _cache_misses,
+        }
 
 
 def holds_under_wfs(
     program: Union[DatalogPMProgram, str],
     database: Union[Database, Iterable[Atom], str, None],
     query: Union[NormalBCQ, Literal, Atom, str],
+    *,
+    rewrite: Optional[bool] = None,
     **engine_options,
 ) -> bool:
     """Decide ``WFS(D, Σ) |= Q`` for an NBCQ (or ground literal/atom) Q.
 
     ``engine_options`` are forwarded to :class:`WellFoundedEngine` (depth
-    schedule, strictness, ...).
+    schedule, strictness, ...); ``rewrite`` selects the goal-directed
+    magic-sets query path (see :meth:`WellFoundedEngine.holds`).  The engine
+    itself is served from the shared LRU, so repeated calls against the same
+    program/database do not rebuild the chase segment.
     """
-    engine = WellFoundedEngine(program, database, **engine_options)
-    return engine.holds(query)
+    engine, lock = _shared_entry(program, database, engine_options)
+    if lock is None:
+        return engine.holds(query, rewrite=rewrite)
+    with lock:
+        return engine.holds(query, rewrite=rewrite)
 
 
 def answer_query(
@@ -40,11 +203,15 @@ def answer_query(
     query: Union[ConjunctiveQuery, str],
     *,
     constants_only: bool = True,
+    rewrite: Optional[bool] = None,
     **engine_options,
 ) -> set[tuple[Term, ...]]:
     """All answers to a (non-Boolean) conjunctive query over WFS(D, Σ)."""
-    engine = WellFoundedEngine(program, database, **engine_options)
-    return engine.answer(query, constants_only=constants_only)
+    engine, lock = _shared_entry(program, database, engine_options)
+    if lock is None:
+        return engine.answer(query, constants_only=constants_only, rewrite=rewrite)
+    with lock:
+        return engine.answer(query, constants_only=constants_only, rewrite=rewrite)
 
 
 def certain_answers(

@@ -36,12 +36,23 @@ the three-valued protocol used by NBCQ evaluation.
 
 from __future__ import annotations
 
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Iterable, Optional, Union
 
 from ..exceptions import ConvergenceError
 from ..lang.atoms import Atom, Literal
 from ..lang.program import Database, DatalogPMProgram
-from ..lang.queries import ConjunctiveQuery, NormalBCQ, evaluate_query, query_holds
+from ..lang.queries import (
+    ConjunctiveQuery,
+    NormalBCQ,
+    ThreeValuedLike,
+    as_conjunctive_query,
+    evaluate_query,
+    query_holds,
+    query_literals,
+)
 from ..lang.rules import NormalRule
 from ..lang.skolem import skolemize_program
 from ..lang.parser import parse_database, parse_program, parse_query
@@ -52,6 +63,7 @@ from ..chase.types import AtomType
 from ..lp.grounding import GroundProgram
 from ..lp.interpretation import TruthValue
 from ..lp.wfs import WellFoundedModel, well_founded_model
+from ..rewrite.magic import ground_magic, rewrite_for_query
 from .locality import delta_bound, query_depth_bound
 
 __all__ = ["DatalogWellFoundedModel", "WellFoundedEngine"]
@@ -165,6 +177,20 @@ class DatalogWellFoundedModel:
         )
 
 
+@dataclass
+class _RewriteOutcome:
+    """Cached result of rewriting one query: the model to evaluate it on."""
+
+    model: ThreeValuedLike
+    stats: dict
+
+
+#: Per-engine LRU bounds: each rewrite outcome pins a restricted WFS model and
+#: each pruned sub-engine a whole chase segment, so both caches stay small.
+_REWRITE_CACHE_SIZE = 128
+_PRUNED_ENGINE_CACHE_SIZE = 8
+
+
 class WellFoundedEngine:
     """Computes WFS(D, Σ) and answers NBCQs over it (Definition 3, Theorems 13/14).
 
@@ -188,6 +214,14 @@ class WellFoundedEngine:
         are for guarded programs); disable only for experimentation.
     strict:
         Whether failing to stabilise raises instead of returning a flagged model.
+    rewrite:
+        Default for the ``rewrite=`` option of :meth:`holds` / :meth:`answer`:
+        answer queries goal-directedly via the magic-sets rewriting of
+        :mod:`repro.rewrite`, falling back to relevance-pruned unrewritten
+        evaluation outside the supported fragment.
+    sips:
+        SIPS strategy used by the rewriting (``"left-to-right"`` or
+        ``"bound-first"``, or a :class:`~repro.rewrite.sips.SIPSStrategy`).
     """
 
     def __init__(
@@ -202,6 +236,8 @@ class WellFoundedEngine:
         require_guarded: bool = True,
         strict: bool = False,
         skolem_args: str = "universal",
+        rewrite: bool = False,
+        sips: str = "left-to-right",
     ):
         if isinstance(program, str):
             program, parsed_facts = parse_program(program)
@@ -227,7 +263,24 @@ class WellFoundedEngine:
         self.initial_depth = initial_depth
         self.depth_step = depth_step
         self.max_depth = max_depth
+        self.max_nodes = max_nodes
         self.strict = strict
+        self.rewrite = rewrite
+        self.sips = sips
+        self._require_guarded = require_guarded
+        self._skolem_args = skolem_args
+        #: statistics of the most recent ``holds``/``answer`` call (see
+        #: :meth:`_query_model`); ``None`` until a query has been answered
+        self.last_query_stats: Optional[dict] = None
+        # Per-query rewriting results and relevance-pruned sub-engines, both
+        # keyed so repeated queries (the common workload) pay nothing twice;
+        # bounded LRUs because entries pin models / whole sub-engines.
+        self._rewrite_cache: "OrderedDict[tuple[Literal, ...], _RewriteOutcome]" = (
+            OrderedDict()
+        )
+        self._pruned_engines: "OrderedDict[frozenset, WellFoundedEngine]" = (
+            OrderedDict()
+        )
 
         self._chase = GuardedChaseEngine(
             self.skolemized, database, max_nodes=max_nodes, require_guarded=require_guarded
@@ -248,16 +301,25 @@ class WellFoundedEngine:
             self._model = self._compute()
         return self._model
 
-    def holds(self, query: Union[NormalBCQ, str, Literal, Atom]) -> bool:
+    def holds(
+        self,
+        query: Union[NormalBCQ, str, Literal, Atom],
+        *,
+        rewrite: Optional[bool] = None,
+    ) -> bool:
         """Does the NBCQ / literal / ground atom hold in WFS(D, Σ)?
 
         Strings are parsed as NBCQs (``"? p(X), not q(X)"``).  Ground atoms
         are treated as atomic queries; literals additionally allow asking for
         falsity (``not a`` holds iff ``a`` is unfounded).
+
+        ``rewrite=True`` answers the query goal-directedly through the
+        magic-sets rewriting (``None`` defers to the engine's ``rewrite``
+        default); answers are identical either way.
         """
-        model = self.model()
         if isinstance(query, str):
             query = parse_query(query)
+        model = self._query_model(query_literals(query), rewrite)
         if isinstance(query, Atom):
             return model.is_true(query)
         if isinstance(query, Literal):
@@ -269,22 +331,23 @@ class WellFoundedEngine:
         query: Union[ConjunctiveQuery, str],
         *,
         constants_only: bool = True,
+        rewrite: Optional[bool] = None,
     ) -> set[tuple[Term, ...]]:
         """Answers to a (non-Boolean) conjunctive query over the well-founded model.
 
         Following the paper's definition of CQ answers, answer tuples range
         over constants; set ``constants_only=False`` to also see tuples
-        containing labelled nulls (Skolem terms).
+        containing labelled nulls (Skolem terms).  ``rewrite`` behaves as in
+        :meth:`holds`.
         """
-        model = self.model()
         if isinstance(query, str):
             nbcq = parse_query(query)
             if nbcq.negative:
                 raise ValueError(
                     "answer() takes a conjunctive query without negation; use holds() for NBCQs"
                 )
-            variables = sorted(nbcq.variables(), key=lambda v: v.name)
-            query = ConjunctiveQuery(nbcq.positive, tuple(variables))
+            query = as_conjunctive_query(nbcq)
+        model = self._query_model(query_literals(query), rewrite)
         answers = evaluate_query(query, model)
         if constants_only:
             answers = {
@@ -295,6 +358,120 @@ class WellFoundedEngine:
     def literal_value(self, atom: Atom) -> str:
         """The truth value of a ground atom in WFS(D, Σ)."""
         return self.model().value(atom)
+
+    def ground_program(self) -> GroundProgram:
+        """The ground program of the converged chase segment (computing it if needed)."""
+        self.model()
+        return self._ground
+
+    # -- goal-directed (magic-sets) query path ------------------------------------------
+
+    def _query_model(
+        self, literals: tuple[Literal, ...], rewrite: Optional[bool]
+    ) -> ThreeValuedLike:
+        """The three-valued model a query should be evaluated against.
+
+        With rewriting disabled this is the engine's full model; with
+        rewriting enabled it is the WFS of the magic-restricted grounding
+        (exact on every query-relevant atom) or, when the program/query pair
+        falls outside the supported fragment, the model of a sub-engine
+        pruned to the query-relevant predicates.  Either way the statistics
+        of the decision are recorded in :attr:`last_query_stats`.
+        """
+        use_rewrite = self.rewrite if rewrite is None else rewrite
+        if not use_rewrite:
+            model = self.model()
+            self.last_query_stats = {
+                "mode": "classic",
+                "ground_rules": len(self._ground),
+                "chase_nodes": len(self._chase.forest),
+                "depth": model.depth,
+                "converged": model.converged,
+            }
+            return model
+
+        outcome = self._rewrite_cache.get(literals)
+        if outcome is None:
+            outcome = self._compute_rewritten(literals)
+            self._rewrite_cache[literals] = outcome
+            while len(self._rewrite_cache) > _REWRITE_CACHE_SIZE:
+                self._rewrite_cache.popitem(last=False)
+        else:
+            self._rewrite_cache.move_to_end(literals)
+        self.last_query_stats = outcome.stats
+        return outcome.model
+
+    def _compute_rewritten(self, literals: tuple[Literal, ...]) -> _RewriteOutcome:
+        """Run the magic-sets pipeline for one query, falling back if needed."""
+        started = time.perf_counter()
+        plan = rewrite_for_query(self.skolemized.rules(), literals, sips=self.sips)
+        fallback_reason = plan.reason
+        if plan.supported:
+            grounding = ground_magic(plan, self.database, max_atoms=self.max_nodes)
+            if grounding.saturated:
+                stats = {
+                    "mode": "magic",
+                    "sips": plan.sips,
+                    "relevant_predicates": len(plan.relevant_predicates()),
+                    "adorned_predicates": len(plan.adorned.reachable),
+                    "magic_rules": plan.magic_rule_count,
+                    "seconds": time.perf_counter() - started,
+                    **grounding.stats(),
+                }
+                return _RewriteOutcome(well_founded_model(grounding.ground), stats)
+            fallback_reason = (
+                f"magic grounding exceeded the atom budget of {self.max_nodes} "
+                "without saturating"
+            )
+        model, relevant_rules = self._pruned_model(plan.relevant_predicates())
+        stats = {
+            "mode": "pruned-chase" if relevant_rules < len(self.program) else "full-chase",
+            "sips": plan.sips,
+            "fallback_reason": fallback_reason,
+            "relevant_predicates": len(plan.relevant_predicates()),
+            "rules_total": len(self.program),
+            "rules_relevant": relevant_rules,
+            "ground_rules": len(model.forest().edge_rules()),
+            "seconds": time.perf_counter() - started,
+        }
+        return _RewriteOutcome(model, stats)
+
+    def _pruned_model(
+        self, relevant: frozenset
+    ) -> tuple[DatalogWellFoundedModel, int]:
+        """Unrewritten evaluation restricted to the query-relevant NTGDs.
+
+        Rules whose head predicate the adorned query cannot reach never
+        influence a query-relevant atom (the dependency closure is head →
+        body, so the relevant rule set is downward closed); dropping them
+        prunes the chase's existential expansions while leaving the
+        well-founded values of all relevant atoms untouched.  Returns the
+        model plus the relevant-rule count so the caller can report honestly
+        whether any pruning actually happened.
+        """
+        pruned_rules = [n for n in self.program if n.head.predicate in relevant]
+        if len(pruned_rules) == len(self.program):
+            return self.model(), len(pruned_rules)
+        key = frozenset(relevant)
+        sub_engine = self._pruned_engines.get(key)
+        if sub_engine is None:
+            sub_engine = WellFoundedEngine(
+                DatalogPMProgram(pruned_rules),
+                self.database,
+                initial_depth=self.initial_depth,
+                depth_step=self.depth_step,
+                max_depth=self.max_depth,
+                max_nodes=self.max_nodes,
+                require_guarded=self._require_guarded,
+                strict=self.strict,
+                skolem_args=self._skolem_args,
+            )
+            self._pruned_engines[key] = sub_engine
+            while len(self._pruned_engines) > _PRUNED_ENGINE_CACHE_SIZE:
+                self._pruned_engines.popitem(last=False)
+        else:
+            self._pruned_engines.move_to_end(key)
+        return sub_engine.model(), len(pruned_rules)
 
     def chase_forest(self) -> ChaseForest:
         """The materialised chase segment used by the current model."""

@@ -8,7 +8,14 @@ NBCQs; the functional transformation Σ ↦ Σ^f; plus a small textual syntax.
 
 from .atoms import Atom, Literal, neg, pos
 from .program import Database, DatalogPMProgram, NormalProgram, Schema
-from .queries import ConjunctiveQuery, NormalBCQ, evaluate_query, query_holds
+from .queries import (
+    ConjunctiveQuery,
+    NormalBCQ,
+    as_conjunctive_query,
+    evaluate_query,
+    query_holds,
+    query_literals,
+)
 from .rules import NTGD, TGD, NormalRule
 from .skolem import skolemize_ntgd, skolemize_program
 from .substitution import Substitution, match, match_atoms, unify
@@ -36,8 +43,10 @@ __all__ = [
     "Schema",
     "ConjunctiveQuery",
     "NormalBCQ",
+    "as_conjunctive_query",
     "evaluate_query",
     "query_holds",
+    "query_literals",
     "NTGD",
     "TGD",
     "NormalRule",

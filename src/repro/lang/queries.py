@@ -34,6 +34,8 @@ __all__ = [
     "ThreeValuedLike",
     "evaluate_query",
     "query_holds",
+    "query_literals",
+    "as_conjunctive_query",
 ]
 
 
@@ -151,6 +153,49 @@ class NormalBCQ:
     def __str__(self) -> str:
         parts = [str(a) for a in self.positive] + [f"not {a}" for a in self.negative]
         return "? " + ", ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Normalization
+# ---------------------------------------------------------------------------
+
+
+def query_literals(
+    query: Union["NormalBCQ", "ConjunctiveQuery", Literal, Atom],
+) -> tuple[Literal, ...]:
+    """Normalise any supported query form to a tuple of literals.
+
+    Ground atoms become single positive literals; literals pass through;
+    conjunctive queries contribute their atoms positively; NBCQs contribute
+    positives first, then negatives.  This is the uniform query currency the
+    rewriting subsystem (and the engine's query paths) operate on.
+    """
+    if isinstance(query, Atom):
+        return (Literal(query, True),)
+    if isinstance(query, Literal):
+        return (query,)
+    if isinstance(query, ConjunctiveQuery):
+        return tuple(Literal(a, True) for a in query.atoms)
+    if isinstance(query, NormalBCQ):
+        return query.literals()
+    raise TypeError(f"cannot normalise {type(query).__name__} to query literals")
+
+
+def as_conjunctive_query(query: "NormalBCQ | ConjunctiveQuery") -> ConjunctiveQuery:
+    """View an NBCQ without negation as a conjunctive query.
+
+    Every variable becomes an answer variable (sorted by name, so answer
+    tuples are deterministic) — the convention used by ``answer()``-style
+    helpers when the user writes a query in NBCQ syntax.
+    """
+    if isinstance(query, ConjunctiveQuery):
+        return query
+    if query.negative:
+        raise IllFormedRuleError(
+            "a conjunctive query cannot contain negated atoms; use NBCQ evaluation"
+        )
+    variables = sorted(query.variables(), key=lambda v: v.name)
+    return ConjunctiveQuery(query.positive, tuple(variables))
 
 
 # ---------------------------------------------------------------------------

@@ -13,6 +13,7 @@ from .fixpoint import RuleIndex, strongly_connected_components
 from .grounding import (
     GroundProgram,
     PredicateIndex,
+    SemiNaiveGrounder,
     ground_over_atoms,
     relevant_grounding,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "strongly_connected_components",
     "GroundProgram",
     "PredicateIndex",
+    "SemiNaiveGrounder",
     "ground_over_atoms",
     "relevant_grounding",
     "herbrand_base",

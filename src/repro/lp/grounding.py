@@ -37,6 +37,7 @@ from .fixpoint import RuleIndex
 __all__ = [
     "GroundProgram",
     "PredicateIndex",
+    "SemiNaiveGrounder",
     "relevant_grounding",
     "ground_over_atoms",
     "ground_rule_instances",
@@ -294,6 +295,97 @@ def ground_over_atoms(
     return ground
 
 
+class SemiNaiveGrounder:
+    """Stateful semi-naive relevant grounding with resumable budgets.
+
+    The grounder owns the persistent candidate :class:`PredicateIndex` and the
+    growing :class:`GroundProgram`; :meth:`run` iterates delta rounds until a
+    fixpoint (``saturated``) or a budget is hit.  Unlike the
+    :func:`relevant_grounding` convenience wrapper, budget exhaustion can be
+    reported as a flag instead of an exception (``raise_on_budget=False``),
+    which is what the magic-sets query path uses to fall back gracefully, and
+    :meth:`run` may be called again with larger budgets to resume.
+    """
+
+    def __init__(
+        self,
+        program: NormalProgram | Iterable[NormalRule],
+        extra_atoms: Iterable[Atom] = (),
+    ):
+        self.ground = GroundProgram()
+        self.index = PredicateIndex()
+        self.rounds = 0
+        self._delta: list[Atom] = []
+        self._proper_rules: list[NormalRule] = []
+
+        for atom in extra_atoms:
+            self._seed(atom)
+        once_rules: list[NormalRule] = []
+        for rule in program:
+            if rule.is_fact() and rule.is_ground():
+                self.ground.add(rule)
+                self._seed(rule.head)
+            elif not rule.is_fact():
+                if rule.body_pos:
+                    self._proper_rules.append(rule)
+                else:
+                    once_rules.append(rule)
+
+        # Rules with an empty positive body (ground constraints-by-negation
+        # such as ``not q -> p``) have nothing to match: instantiate them once.
+        for rule in once_rules:
+            for instance in ground_rule_instances(rule, self.index):
+                self.ground.add(instance)
+                self._seed(instance.head)
+
+    def _seed(self, atom: Atom) -> None:
+        if self.index.add(atom):
+            self._delta.append(atom)
+
+    @property
+    def saturated(self) -> bool:
+        """``True`` iff the fixpoint was reached (no pending delta atoms)."""
+        return not self._delta
+
+    def run(
+        self,
+        *,
+        max_rounds: Optional[int] = None,
+        max_atoms: Optional[int] = None,
+        raise_on_budget: bool = True,
+    ) -> bool:
+        """Iterate delta rounds to a fixpoint; return whether it saturated.
+
+        ``max_rounds`` bounds the *total* number of rounds across calls and
+        ``max_atoms`` the size of the candidate index.  On budget exhaustion
+        either a :class:`GroundingError` is raised (``raise_on_budget=True``)
+        or ``False`` is returned and the grounder stays resumable.
+        """
+        while self._delta:
+            if max_rounds is not None and self.rounds + 1 > max_rounds:
+                if raise_on_budget:
+                    raise GroundingError(
+                        f"relevant grounding did not converge within {max_rounds} rounds "
+                        "(the program probably has function symbols); use a budget or the chase engine"
+                    )
+                return False
+            self.rounds += 1
+            delta_index = PredicateIndex(self._delta)
+            self._delta = []
+            for rule in self._proper_rules:
+                for instance in _delta_rule_instances(rule, self.index, delta_index):
+                    if instance not in self.ground:
+                        self.ground.add(instance)
+                        self._seed(instance.head)
+            if max_atoms is not None and len(self.index) > max_atoms:
+                if raise_on_budget:
+                    raise GroundingError(
+                        f"relevant grounding exceeded the atom budget of {max_atoms}"
+                    )
+                return False
+        return True
+
+
 def relevant_grounding(
     program: NormalProgram | Iterable[NormalRule],
     extra_atoms: Iterable[Atom] = (),
@@ -313,7 +405,8 @@ def relevant_grounding(
     Each round after the first only matches rules against the *delta* — the
     candidate atoms that are new since the previous round — over a persistent
     :class:`PredicateIndex`, instead of re-matching every rule against every
-    candidate from scratch.
+    candidate from scratch.  The loop itself lives in
+    :class:`SemiNaiveGrounder`; this wrapper runs it to saturation.
 
     Parameters
     ----------
@@ -326,56 +419,9 @@ def relevant_grounding(
         grounding may be infinite.  Exceeding a budget raises
         :class:`GroundingError`.
     """
-    rules = list(program)
-    ground = GroundProgram()
-    index = PredicateIndex()
-    delta: list[Atom] = []
-
-    def seed(atom: Atom) -> None:
-        if index.add(atom):
-            delta.append(atom)
-
-    for atom in extra_atoms:
-        seed(atom)
-    proper_rules: list[NormalRule] = []
-    for rule in rules:
-        if rule.is_fact() and rule.is_ground():
-            ground.add(rule)
-            seed(rule.head)
-        elif not rule.is_fact():
-            proper_rules.append(rule)
-
-    # Rules with an empty positive body (ground constraints-by-negation such as
-    # ``not q -> p``) have nothing to match: instantiate them exactly once.
-    positive_body_rules: list[NormalRule] = []
-    for rule in proper_rules:
-        if rule.body_pos:
-            positive_body_rules.append(rule)
-        else:
-            for instance in ground_rule_instances(rule, index):
-                ground.add(instance)
-                seed(instance.head)
-
-    rounds = 0
-    while delta:
-        rounds += 1
-        if max_rounds is not None and rounds > max_rounds:
-            raise GroundingError(
-                f"relevant grounding did not converge within {max_rounds} rounds "
-                "(the program probably has function symbols); use a budget or the chase engine"
-            )
-        delta_index = PredicateIndex(delta)
-        delta = []
-        for rule in positive_body_rules:
-            for instance in _delta_rule_instances(rule, index, delta_index):
-                if instance not in ground:
-                    ground.add(instance)
-                    seed(instance.head)
-        if max_atoms is not None and len(index) > max_atoms:
-            raise GroundingError(
-                f"relevant grounding exceeded the atom budget of {max_atoms}"
-            )
-    return ground
+    grounder = SemiNaiveGrounder(program, extra_atoms)
+    grounder.run(max_rounds=max_rounds, max_atoms=max_atoms, raise_on_budget=True)
+    return grounder.ground
 
 
 def _relevant_grounding_naive(

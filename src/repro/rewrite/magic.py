@@ -1,0 +1,349 @@
+"""Magic-sets rewriting as a WFS-sound *grounding-time* restriction.
+
+Classical magic sets (Beeri–Ramakrishnan) rewrite a program so that bottom-up
+evaluation only derives atoms relevant to a query.  Under the well-founded
+semantics the textbook transformation is unsound in general: magic atoms can
+become *undefined* inside the rewritten program and corrupt truth values
+(Kemp–Srivastava–Stuckey).  This module therefore keeps the magic predicates
+**out of the evaluated program entirely**:
+
+1. The adorned program (:mod:`repro.rewrite.adornment`) yields, per reachable
+   ``(predicate, adornment)`` pair, *magic rules* that pass bindings sideways
+   and *gated rules* — the original rules with a magic guard atom prepended to
+   the positive body.  Magic rules are emitted for **both positive and negated
+   body literals**; the negative-context copies (``negative_context`` in
+   :class:`MagicPlan`) are the labelled/doubled rules that make the restriction
+   WFS-sound: relevance must flow into negated subgoals, because their truth
+   values feed the unfounded-set computation.
+2. The gated program is grounded by the ordinary semi-naive relevant grounding
+   (:class:`repro.lp.grounding.SemiNaiveGrounder`), which treats negative
+   bodies as satisfiable — a two-valued over-approximation.  The magic atoms
+   are therefore computed on the program's *possible* (envelope) copy and
+   over-approximate the atoms the query can reach.
+3. :func:`ground_magic` then **strips** the magic guards and drops the magic
+   rules, leaving a plain sub-program of the full relevant grounding whose
+   heads are exactly the magic-covered atoms, plus the covered database facts.
+
+Because the covered atom set is closed under "head covered ⇒ body covered"
+(cover flows through every literal, negated ones included), the stripped
+program is a *splitting bottom* of the full grounding: by the modularity of
+the WFS, the well-founded model of the stripped program agrees with the full
+model on every covered atom — for any program, stratified or not.  Query
+evaluation only ever consults covered atoms (the query literals seed the
+cover), so answers are preserved exactly.
+
+The *sound fragment* enforced by :func:`rewrite_for_query` is about
+**termination**, not truth values: the restricted grounding must saturate.
+Query-relevant recursion through rules that create function terms (Skolemised
+existentials) can make the fixpoint infinite, so such program/query pairs are
+flagged ``supported=False`` and the engine falls back to the unrewritten
+(chase-segment) evaluation, pruned to the query-relevant predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..lang.atoms import Atom, Literal
+from ..lang.program import NormalProgram
+from ..lang.rules import NormalRule
+from ..lang.terms import Term, Variable, variables_of
+from ..lp.fixpoint import strongly_connected_components
+from ..lp.grounding import GroundProgram, SemiNaiveGrounder
+from .adornment import AdornedProgram, Adornment, adorn
+from .sips import SIPSStrategy, sips_strategy
+
+__all__ = [
+    "MAGIC_PREFIX",
+    "MagicPlan",
+    "MagicGrounding",
+    "magic_predicate_name",
+    "is_magic_predicate",
+    "rewrite_for_query",
+    "ground_magic",
+]
+
+#: Reserved namespace for magic predicates; programs using it are not rewritten.
+MAGIC_PREFIX = "__magic_"
+
+
+def magic_predicate_name(predicate: str, adornment: Adornment) -> str:
+    """The name of the magic predicate ``magic_p^a`` (collision-free by prefix)."""
+    return f"{MAGIC_PREFIX}{adornment}__{predicate}"
+
+
+def is_magic_predicate(predicate: str) -> bool:
+    """``True`` iff the predicate name lives in the magic namespace."""
+    return predicate.startswith(MAGIC_PREFIX)
+
+
+def _magic_atom(predicate: str, adornment: Adornment, args: Sequence[Term]) -> Atom:
+    """The magic atom carrying the bound arguments of a call."""
+    return Atom(magic_predicate_name(predicate, adornment), adornment.project(args))
+
+
+@dataclass
+class MagicPlan:
+    """The rewriting of one program/query pair.
+
+    ``program`` is the *gated* magic program: magic seeds and rules plus the
+    original rules guarded by magic atoms.  It is ``None`` when the pair falls
+    outside the supported fragment (``supported=False``; ``reason`` says why),
+    in which case only the relevance information is usable.
+    """
+
+    query: tuple[Literal, ...]
+    adorned: AdornedProgram
+    sips: str
+    supported: bool
+    reason: Optional[str] = None
+    program: Optional[NormalProgram] = None
+    #: magic rules emitted for negated body literals (the labelled copies)
+    negative_context: tuple[NormalRule, ...] = ()
+    #: number of magic seed facts / magic rules / gated rules
+    seed_count: int = 0
+    magic_rule_count: int = 0
+    gated_rule_count: int = 0
+
+    def relevant_predicates(self) -> frozenset[str]:
+        """Predicates reachable from the query (valid even when unsupported)."""
+        return self.adorned.relevant_predicates()
+
+    def adornments_by_predicate(self) -> dict[str, list[Adornment]]:
+        """Reachable adornments grouped by predicate (for cover tests)."""
+        grouped: dict[str, list[Adornment]] = {}
+        for predicate, adornment in self.adorned.reachable:
+            grouped.setdefault(predicate, []).append(adornment)
+        return grouped
+
+    def __repr__(self) -> str:
+        status = "supported" if self.supported else f"fallback: {self.reason}"
+        return (
+            f"MagicPlan({len(self.adorned.reachable)} adorned predicates, "
+            f"{self.magic_rule_count} magic rules, {self.gated_rule_count} gated rules, "
+            f"{status})"
+        )
+
+
+def _weak_acyclicity_violation(rules: Sequence[NormalRule]) -> Optional[str]:
+    """A reason the fragment is not weakly acyclic, or ``None`` if it is.
+
+    The standard position graph of Fagin et al.: nodes are ``(predicate,
+    argument position)``; a variable flowing from a positive body position
+    into a head position contributes a *regular* edge when it appears there
+    directly, and a *special* edge when it appears nested inside a function
+    (Skolem) term — the positions where fresh terms are created.  A cycle
+    through a special edge means the chase (and hence the magic-restricted
+    grounding fixpoint) can build ever-deeper terms; weak acyclicity bounds
+    term depth and guarantees saturation.
+    """
+    edges: dict[tuple, set[tuple]] = {}
+    special: list[tuple[tuple, tuple, NormalRule]] = []
+    for rule in rules:
+        var_positions: dict[Variable, set[tuple]] = {}
+        for atom in rule.body_pos:
+            for position, arg in enumerate(atom.args):
+                for variable in variables_of(arg):
+                    var_positions.setdefault(variable, set()).add(
+                        (atom.predicate, position)
+                    )
+        for position, arg in enumerate(rule.head.args):
+            target = (rule.head.predicate, position)
+            edges.setdefault(target, set())
+            nested = not isinstance(arg, Variable)
+            for variable in variables_of(arg):
+                for source in var_positions.get(variable, ()):
+                    edges.setdefault(source, set()).add(target)
+                    if nested:
+                        special.append((source, target, rule))
+    component = {
+        node: index
+        for index, members in enumerate(strongly_connected_components(edges))
+        for node in members
+    }
+    for source, target, rule in special:
+        if component.get(source) == component.get(target):
+            return (
+                "existential recursion in the query-relevant fragment "
+                f"(rule {rule} makes the position graph cyclic through a Skolem "
+                f"position {target[0]}[{target[1]}]; not weakly acyclic)"
+            )
+    return None
+
+
+def _unsupported_reason(
+    rules: Sequence[NormalRule], relevant: frozenset[str]
+) -> Optional[str]:
+    """Why the query-relevant fragment cannot be rewritten, or ``None``.
+
+    The magic-restricted grounding must reach a fixpoint.  Magic and gated
+    rules never create terms (they only project and copy existing ones), so
+    termination is governed by the original query-relevant rules: weak
+    acyclicity of their position graph bounds the Skolem-term depth and with
+    it the fixpoint.  Fragments outside that criterion — and programs whose
+    predicates collide with the reserved magic namespace — are rejected and
+    answered by the fallback path instead.
+    """
+    for rule in rules:
+        predicate = rule.head.predicate
+        if predicate in relevant and is_magic_predicate(predicate):
+            return f"program predicate {predicate!r} collides with the magic namespace"
+    relevant_rules = [r for r in rules if r.head.predicate in relevant]
+    return _weak_acyclicity_violation(relevant_rules)
+
+
+def rewrite_for_query(
+    rules: Iterable[NormalRule],
+    query: Sequence[Literal],
+    *,
+    sips: "str | SIPSStrategy" = "left-to-right",
+) -> MagicPlan:
+    """Rewrite *rules* for goal-directed grounding of *query*.
+
+    Returns a :class:`MagicPlan`; when ``plan.supported`` is ``False`` the
+    plan still carries the adornment/relevance information so callers can fall
+    back to a relevance-pruned unrewritten evaluation.
+    """
+    strategy = sips_strategy(sips)
+    rules = list(rules)
+    adorned = adorn(rules, query, sips=strategy)
+    plan = MagicPlan(
+        query=tuple(query),
+        adorned=adorned,
+        sips=strategy.name,
+        supported=True,
+    )
+
+    reason = _unsupported_reason(rules, adorned.relevant_predicates())
+    if reason is not None:
+        plan.supported = False
+        plan.reason = reason
+        return plan
+
+    program = NormalProgram()
+    negative_context: list[NormalRule] = []
+
+    # -- seeds and magic rules from the query body ---------------------------
+    for call in adorned.query_calls:
+        magic_head = _magic_atom(call.predicate, call.adornment, call.atom.args)
+        magic_rule = NormalRule(magic_head, call.step.prefix, ())
+        if magic_rule not in program:
+            program.add(magic_rule)
+            if magic_rule.is_fact():
+                plan.seed_count += 1
+            else:
+                plan.magic_rule_count += 1
+        if not call.positive:
+            negative_context.append(magic_rule)
+
+    # -- magic rules and gated rules from the adorned program ----------------
+    for adorned_rule in adorned.adorned_rules:
+        rule = adorned_rule.rule
+        gate = _magic_atom(rule.head.predicate, adorned_rule.adornment, rule.head.args)
+        for call in adorned_rule.calls:
+            magic_head = _magic_atom(call.predicate, call.adornment, call.atom.args)
+            magic_rule = NormalRule(magic_head, (gate, *call.step.prefix), ())
+            if magic_rule not in program:
+                plan.magic_rule_count += 1
+                program.add(magic_rule)
+                if not call.positive:
+                    negative_context.append(magic_rule)
+        gated = NormalRule(rule.head, (gate, *rule.body_pos), rule.body_neg)
+        if gated not in program:
+            plan.gated_rule_count += 1
+            program.add(gated)
+
+    plan.program = program
+    plan.negative_context = tuple(negative_context)
+    return plan
+
+
+@dataclass
+class MagicGrounding:
+    """Result of grounding a :class:`MagicPlan` against a database.
+
+    ``ground`` is the stripped program: the sub-program of the full relevant
+    grounding restricted to magic-covered heads, with all magic artefacts
+    removed, plus the covered database facts.  ``saturated`` reports whether
+    the restricted fixpoint completed within its budgets — only a saturated
+    grounding is a sound basis for query answering.
+    """
+
+    ground: GroundProgram
+    saturated: bool
+    rounds: int
+    #: derived magic (cover) atoms
+    magic_atoms: int
+    #: candidate atoms of the restricted grounding (magic atoms included)
+    candidates: int
+    #: database facts covered (and therefore kept)
+    covered_facts: int
+
+    def stats(self) -> dict:
+        """JSON-ready summary used by the engine's per-query statistics."""
+        return {
+            "ground_rules": len(self.ground),
+            "saturated": self.saturated,
+            "rounds": self.rounds,
+            "magic_atoms": self.magic_atoms,
+            "candidates": self.candidates,
+            "covered_facts": self.covered_facts,
+        }
+
+
+def ground_magic(
+    plan: MagicPlan,
+    database: Iterable[Atom] = (),
+    *,
+    max_rounds: Optional[int] = None,
+    max_atoms: Optional[int] = None,
+) -> MagicGrounding:
+    """Ground the gated magic program semi-naively and strip the magic guards.
+
+    ``database`` atoms are candidates for rule bodies throughout; only the
+    magic-covered ones survive into the result as facts.  Budgets behave like
+    :class:`~repro.lp.grounding.SemiNaiveGrounder`'s but never raise — a
+    budget hit is reported as ``saturated=False`` and the caller is expected
+    to fall back to unrewritten evaluation.
+    """
+    if plan.program is None:
+        raise ValueError(f"plan is not supported ({plan.reason}); cannot ground it")
+    database = list(database)
+    grounder = SemiNaiveGrounder(plan.program, database)
+    saturated = grounder.run(
+        max_rounds=max_rounds, max_atoms=max_atoms, raise_on_budget=False
+    )
+
+    stripped = GroundProgram()
+    magic_atoms = sum(
+        1 for atom in grounder.index.atoms() if is_magic_predicate(atom.predicate)
+    )
+    for instance in grounder.ground:
+        if is_magic_predicate(instance.head.predicate):
+            continue
+        stripped.add(
+            NormalRule(
+                instance.head,
+                tuple(a for a in instance.body_pos if not is_magic_predicate(a.predicate)),
+                instance.body_neg,
+            )
+        )
+
+    adornments = plan.adornments_by_predicate()
+    covered_facts = 0
+    for atom in database:
+        for adornment in adornments.get(atom.predicate, ()):
+            if _magic_atom(atom.predicate, adornment, atom.args) in grounder.index:
+                stripped.add(NormalRule(atom))
+                covered_facts += 1
+                break
+
+    return MagicGrounding(
+        ground=stripped,
+        saturated=saturated,
+        rounds=grounder.rounds,
+        magic_atoms=magic_atoms,
+        candidates=len(grounder.index),
+        covered_facts=covered_facts,
+    )

@@ -8,7 +8,14 @@ from repro.lang.atoms import Atom
 from repro.lang.parser import parse_atom, parse_program, parse_query
 from repro.lang.queries import ConjunctiveQuery
 from repro.lang.terms import Constant, Variable
-from repro.core.answering import answer_query, certain_answers, holds_under_wfs
+from repro.core.answering import (
+    answer_query,
+    certain_answers,
+    clear_engine_cache,
+    engine_cache_info,
+    holds_under_wfs,
+    shared_engine,
+)
 from repro.core.engine import WellFoundedEngine
 
 LITERATURE = """
@@ -61,6 +68,77 @@ class TestAnswerQuery:
         )
         answers = answer_query(LITERATURE, None, query)
         assert answers == {(Constant("john"),)}
+
+
+class TestEngineCache:
+    """The module-level LRU that keeps repeated one-shot calls cheap."""
+
+    def setup_method(self):
+        clear_engine_cache()
+
+    def teardown_method(self):
+        clear_engine_cache()
+
+    def test_repeated_calls_share_one_engine(self):
+        assert holds_under_wfs(LITERATURE, None, "? article(pods13)")
+        assert holds_under_wfs(LITERATURE, None, "? isAuthorOf(john, Y)")
+        info = engine_cache_info()
+        assert info["size"] == 1
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_shared_engine_is_identical_object_for_same_inputs(self):
+        first = shared_engine(LITERATURE, None)
+        second = shared_engine(LITERATURE, None)
+        assert first is second
+
+    def test_program_objects_are_keyed_by_identity(self):
+        program, database = parse_program(LITERATURE)
+        first = shared_engine(program, database)
+        assert shared_engine(program, database) is first
+        # a structurally equal but distinct program gets its own engine
+        other_program, other_database = parse_program(LITERATURE)
+        assert shared_engine(other_program, other_database) is not first
+
+    def test_different_engine_options_get_different_engines(self):
+        first = shared_engine(LITERATURE, None, max_depth=9)
+        second = shared_engine(LITERATURE, None, max_depth=11)
+        assert first is not second
+        assert engine_cache_info()["size"] == 2
+
+    def test_unkeyable_inputs_bypass_the_cache(self):
+        program, _ = parse_program("conferencePaper(X) -> article(X).")
+        atoms = [parse_atom("conferencePaper(pods13)")]
+        engine = shared_engine(program, atoms)  # plain list: not cacheable
+        assert engine_cache_info()["size"] == 0
+        assert engine.holds("? article(pods13)")
+
+    def test_eviction_beyond_capacity(self):
+        from repro.core import answering
+
+        programs = [parse_program(LITERATURE)[0] for _ in range(answering.ENGINE_CACHE_SIZE + 2)]
+        engines = [shared_engine(p, None) for p in programs]
+        assert engine_cache_info()["size"] == answering.ENGINE_CACHE_SIZE
+        # the oldest entries were evicted, the newest survive
+        assert shared_engine(programs[-1], None) is engines[-1]
+
+    def test_mutated_database_is_not_served_stale(self):
+        program, _ = parse_program("conferencePaper(X) -> article(X).")
+        from repro.lang.program import Database
+
+        database = Database([parse_atom("conferencePaper(pods13)")])
+        assert holds_under_wfs(program, database, "? article(pods13)")
+        database.add(parse_atom("conferencePaper(icdt19)"))
+        # the append changed len(database), so a fresh engine must be built
+        assert holds_under_wfs(program, database, "? article(icdt19)")
+        # ... and the superseded engine must have been purged, not left to
+        # occupy an LRU slot its key can never hit again
+        assert engine_cache_info()["size"] == 1
+
+    def test_rewrite_option_is_forwarded(self):
+        program, database = parse_program(LITERATURE)
+        assert holds_under_wfs(program, database, "? article(pods13)", rewrite=True)
+        engine = shared_engine(program, database)
+        assert engine.last_query_stats["mode"] == "magic"
 
 
 class TestCertainAnswers:

@@ -87,3 +87,31 @@ class TestMain:
     def test_missing_file_exits(self, capsys):
         with pytest.raises(SystemExit):
             main(["/nonexistent/program.dlp"])
+
+    def test_rewrite_flag_answers_identically(self, program_file, capsys):
+        code = main([program_file, "--rewrite", "--query", "? isAuthorOf(john, Y)",
+                     "--query", "? article(john)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "? isAuthorOf(john, Y) : yes" in out
+        assert "? article(john) : no" in out
+
+    def test_verbose_prints_grounding_statistics(self, program_file, capsys):
+        code = main([program_file, "--rewrite", "--verbose", "--query", "? article(pods13)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mode=magic" in out
+        assert "ground_rules=" in out
+
+    def test_no_rewrite_is_the_classic_path(self, program_file, capsys):
+        code = main([program_file, "--no-rewrite", "--verbose", "--query", "? article(pods13)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mode=classic" in out
+
+    def test_bound_first_sips_option(self, program_file, capsys):
+        code = main([program_file, "--rewrite", "--sips", "bound-first", "--verbose",
+                     "--query", "? article(pods13)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sips=bound-first" in out
