@@ -141,6 +141,10 @@ __all__ = [
     "holds_under_wfs",
     "shared_engine",
     "StratifiedDatalogPM",
+    "SegmentStore",
+    "shared_segment_store",
+    "clear_segment_stores",
+    "segment_store_info",
     "Ontology",
     "OntologyReasoner",
     "translate_ontology",
@@ -168,6 +172,15 @@ def __getattr__(name: str):
         from . import core
 
         return getattr(core, name)
+    if name in (
+        "SegmentStore",
+        "shared_segment_store",
+        "clear_segment_stores",
+        "segment_store_info",
+    ):
+        from .chase import segments
+
+        return getattr(segments, name)
     if name in ("Ontology", "OntologyReasoner", "translate_ontology"):
         from . import dl
 

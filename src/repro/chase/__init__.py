@@ -7,6 +7,15 @@ locality results are built on.
 
 from .engine import GuardedChaseEngine, chase_forest
 from .forest import ChaseForest, ChaseNode
+from .segments import (
+    CachedSegment,
+    SegmentStore,
+    canonical_atom_shape,
+    clear_segment_stores,
+    program_fingerprint,
+    segment_store_info,
+    shared_segment_store,
+)
 from .types import (
     AtomType,
     are_x_isomorphic,
@@ -21,6 +30,13 @@ __all__ = [
     "chase_forest",
     "ChaseForest",
     "ChaseNode",
+    "CachedSegment",
+    "SegmentStore",
+    "canonical_atom_shape",
+    "clear_segment_stores",
+    "program_fingerprint",
+    "segment_store_info",
+    "shared_segment_store",
     "AtomType",
     "are_x_isomorphic",
     "canonical_type_key",

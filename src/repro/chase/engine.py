@@ -16,11 +16,20 @@ forest of ``P = D ∪ Σ^f``:
 The expansion is incremental: calling :meth:`GuardedChaseEngine.expand` again
 with a larger depth bound continues from the existing forest instead of
 rebuilding it.
+
+With a :class:`~repro.chase.segments.SegmentStore` attached (``segment_cache``),
+expansion additionally *splices* memoized subtrees under nodes whose canonical
+atom shape was expanded before — by this engine, at a smaller depth, or by any
+previous engine over the same rule set — instead of re-deriving them through
+rule matching, and records newly saturated subtrees back into the store.  The
+saturation rounds still run to quiescence afterwards, so the resulting forest
+is bit-identical to the one built without the cache (see
+:mod:`repro.chase.segments` for the argument).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Iterable, Mapping, Optional, Sequence, Union
 
 from ..exceptions import GroundingError, NotGuardedError
 from ..lang.atoms import Atom
@@ -28,6 +37,13 @@ from ..lang.program import Database, NormalProgram
 from ..lang.rules import NormalRule
 from ..lang.substitution import Substitution, match
 from .forest import ChaseForest, ChaseNode
+from .segments import (
+    CachedSegment,
+    SegmentStore,
+    canonical_rule_order,
+    shared_segment_store,
+)
+from .types import shape_key
 
 __all__ = ["GuardedChaseEngine", "chase_forest"]
 
@@ -35,12 +51,18 @@ __all__ = ["GuardedChaseEngine", "chase_forest"]
 class _PreparedRule:
     """A Skolemised rule with its guard singled out for efficient matching."""
 
-    __slots__ = ("rule", "guard", "other_pos")
+    __slots__ = ("rule", "guard", "other_pos", "seq", "fully_bound")
 
-    def __init__(self, rule: NormalRule, *, require_guarded: bool = True):
+    def __init__(self, rule: NormalRule, *, require_guarded: bool = True, seq: int = 0):
         self.rule = rule
         self.guard = _find_guard(rule, require_guarded=require_guarded)
         self.other_pos = tuple(a for a in rule.body_pos if a is not self.guard)
+        #: position of the rule in the engine's rule list (memo keys)
+        self.seq = seq
+        #: does the guard bind every rule variable?  Then a guard match fully
+        #: determines the ground instance — at most one firing per node — and
+        #: the engine can memoize decided (node, rule) pairs across rounds.
+        self.fully_bound = rule.variables() <= self.guard.variables()
 
 
 def _find_guard(rule: NormalRule, *, require_guarded: bool = True) -> Atom:
@@ -80,6 +102,16 @@ class GuardedChaseEngine:
     max_nodes:
         Safety budget: expansion raises :class:`GroundingError` if the forest
         would exceed this many nodes (default one million).
+    segment_cache:
+        ``True`` to memoize saturated subtrees by canonical atom shape in the
+        persistent per-fingerprint store
+        (:func:`repro.chase.segments.shared_segment_store`), or an explicit
+        :class:`~repro.chase.segments.SegmentStore` to use instead.  The
+        store is consulted and fed by :meth:`expand`.  Caching is declined
+        (``cache_stats["disabled_reason"]`` says why, and no registry entry
+        is created) when some rule's guard does not bind every rule variable
+        (possible only with ``require_guarded=False``), because then a firing
+        is no longer determined by the guard match alone.
     """
 
     def __init__(
@@ -89,6 +121,7 @@ class GuardedChaseEngine:
         *,
         max_nodes: int = 1_000_000,
         require_guarded: bool = True,
+        segment_cache: Union[SegmentStore, bool, None] = None,
     ):
         self.forest = ChaseForest()
         self.max_nodes = max_nodes
@@ -100,9 +133,19 @@ class GuardedChaseEngine:
                 if rule.is_ground():
                     self._add_fact(rule.head)
                 continue
-            prepared = _PreparedRule(rule, require_guarded=require_guarded)
+            prepared = _PreparedRule(
+                rule, require_guarded=require_guarded, seq=len(self._rules)
+            )
             self._rules.append(prepared)
             self._rules_by_guard_pred.setdefault(prepared.guard.predicate, []).append(prepared)
+
+        # Decided (node_id, rule seq) pairs for fully-bound rules: the pair
+        # either fired (its unique ground instance is in the forest) or its
+        # guard can never match the node's label.  Saturation rounds skip these
+        # without re-instantiating the rule, which makes the re-scan of an
+        # already-expanded forest (iterative deepening, post-splice quiescence
+        # checks) near-free.
+        self._decided: set[tuple[int, int]] = set()
 
         for atom in database:
             self._add_fact(atom)
@@ -111,6 +154,74 @@ class GuardedChaseEngine:
         self.depth_bound = 0
         #: number of expansion rounds performed so far
         self.rounds = 0
+
+        # -- segment cache wiring ----------------------------------------------
+        #: counters of this engine's cache traffic (hits/misses are per lookup,
+        #: ``nodes_spliced`` counts children placed without rule matching)
+        self.cache_stats = {
+            "enabled": False,
+            "hits": 0,
+            "misses": 0,
+            "splices": 0,
+            "nodes_spliced": 0,
+            "segments_recorded": 0,
+        }
+        self._segment_store: Optional[SegmentStore] = None
+        self._canonical_rules: list[_PreparedRule] = []
+        self._canonical_index: dict[NormalRule, int] = {}
+        self._rules_by_structure: dict[tuple, list[_PreparedRule]] = {}
+        # Memos keyed by immutable values: label shapes recur across nodes and
+        # (parent label, ground rule) pairs recur across re-recordings.
+        self._shape_memo: dict[Atom, tuple] = {}
+        self._derivation_memo: dict[tuple[Atom, NormalRule], Optional[int]] = {}
+        # Shapes that were looked up and missed: recording is demand-driven —
+        # only shapes something actually asked for (plus the current frontier,
+        # which the next deepening step will ask for) are worth extracting.
+        self._missed_shapes: set[tuple] = set()
+        # Shapes that were looked up and hit: checked after saturation for
+        # staleness (the rounds may have derived more under the spliced root
+        # than the stored segment knows, e.g. when the segment was recorded
+        # from a database lacking some side atoms).
+        self._hit_shapes: set[tuple] = set()
+        # Note: an explicit store must not go through truthiness — an empty
+        # SegmentStore has len() == 0 and would read as "disabled".
+        if segment_cache is not None and segment_cache is not False:
+            if not all(p.fully_bound for p in self._rules):
+                # The shared registry is not consulted either, so unguarded
+                # programs cannot evict live stores of cacheable ones.
+                self.cache_stats["disabled_reason"] = (
+                    "some rule's guard does not bind every rule variable"
+                )
+            else:
+                self._segment_store = (
+                    segment_cache
+                    if isinstance(segment_cache, SegmentStore)
+                    else shared_segment_store(
+                        (p.rule for p in self._rules), require_guarded=require_guarded
+                    )
+                )
+                self.cache_stats["enabled"] = True
+        if self._segment_store is not None:
+            # Cached segments refer to rules by index in the canonical ordering
+            # so that every engine sharing a store agrees on what an index means.
+            canonical = canonical_rule_order(p.rule for p in self._rules)
+            self._canonical_index = {rule: index for index, rule in enumerate(canonical)}
+            by_rule: dict[NormalRule, _PreparedRule] = {}
+            for prepared in self._rules:
+                by_rule.setdefault(prepared.rule, prepared)
+            self._canonical_rules = [by_rule[rule] for rule in canonical]
+            # Ground edge rules are attributed to their source rule by structure
+            # first (head/body predicates), so recording tries one or two
+            # candidates instead of every rule sharing the guard predicate.
+            for prepared in self._rules:
+                self._rules_by_structure.setdefault(
+                    _rule_structure(prepared.rule), []
+                ).append(prepared)
+
+    @property
+    def segment_store(self) -> Optional[SegmentStore]:
+        """The attached segment store, or ``None`` when caching is off."""
+        return self._segment_store
 
     def _add_fact(self, atom: Atom) -> None:
         """Add a root node for a fact unless one with that label already exists."""
@@ -128,6 +239,16 @@ class GuardedChaseEngine:
         if at least one node was added.  Expansion always runs to saturation
         within the depth bound (unless *max_rounds* cuts it short).
 
+        With a segment cache attached, memoized subtrees are spliced in first
+        (see :meth:`_splice_from_cache`); the saturation rounds then add
+        whatever the cache could not provide and certify quiescence, so the
+        final forest is identical either way.  After saturation, node levels
+        are restored to their canonical derivation stages
+        (:meth:`ChaseForest.recompute_levels`) and newly saturated subtrees
+        are recorded back into the store.  Splicing and recording are skipped
+        under a *max_rounds* cutoff: an unsaturated forest must not populate
+        the store, and a partial expansion has no quiescence certificate.
+
         Raises
         ------
         GroundingError
@@ -137,7 +258,10 @@ class GuardedChaseEngine:
             # the forest is already expanded beyond this bound; nothing to do
             return False
         self.depth_bound = max_depth
+        use_cache = self._segment_store is not None and max_rounds is None
         added_any = False
+        if use_cache:
+            added_any = self._splice_from_cache(max_depth)
         changed = True
         rounds_here = 0
         while changed:
@@ -147,6 +271,10 @@ class GuardedChaseEngine:
             added_any = added_any or changed
             rounds_here += 1
             self.rounds += 1
+        if added_any:
+            self.forest.recompute_levels()
+        if use_cache:
+            self._record_segments(max_depth)
         return added_any
 
     def _expand_one_round(self, max_depth: int) -> bool:
@@ -156,18 +284,32 @@ class GuardedChaseEngine:
         level = self.rounds + 1
         new_children: list[tuple[int, Atom, NormalRule]] = []
 
+        decided = self._decided
+        fired: list[tuple[int, int]] = []
         for node in list(self.forest.nodes()):
             if node.depth >= max_depth:
                 continue
+            node_id = node.node_id
             for prepared in self._rules_by_guard_pred.get(node.label.predicate, ()):
+                if prepared.fully_bound and (node_id, prepared.seq) in decided:
+                    continue
                 guard_match = match(prepared.guard, node.label)
                 if guard_match is None:
+                    if prepared.fully_bound:
+                        # labels never change: this pair can never fire
+                        decided.add((node_id, prepared.seq))
                     continue
-                for full_match in _match_remaining(prepared.other_pos, label_index, guard_match):
+                for full_match in _match_remaining(
+                    prepared.other_pos, label_index, labels, guard_match
+                ):
                     ground_rule = _instantiate(prepared.rule, full_match)
-                    if self.forest.was_applied(node.node_id, ground_rule):
+                    if self.forest.was_applied(node_id, ground_rule):
+                        if prepared.fully_bound:
+                            decided.add((node_id, prepared.seq))
                         continue
-                    new_children.append((node.node_id, ground_rule.head, ground_rule))
+                    new_children.append((node_id, ground_rule.head, ground_rule))
+                    if prepared.fully_bound:
+                        fired.append((node_id, prepared.seq))
 
         if not new_children:
             return False
@@ -181,7 +323,265 @@ class GuardedChaseEngine:
             # but defensive duplicate checks keep the forest well-formed.
             if not self.forest.was_applied(parent_id, rule):
                 self.forest.add_child(parent_id, head, rule, level)
+        decided.update(fired)
         return True
+
+    # -- segment cache: splice-in -----------------------------------------------
+
+    def _shape(self, label: Atom) -> tuple:
+        """Memoized canonical shape of a node label."""
+        shape = self._shape_memo.get(label)
+        if shape is None:
+            shape = shape_key(label)
+            self._shape_memo[label] = shape
+        return shape
+
+    def _splice_from_cache(self, max_depth: int) -> bool:
+        """Instantiate cached segments under every unexpanded matching node.
+
+        Worklist over childless nodes below the depth bound; nodes spliced in
+        are fed back so that a segment's frontier can itself hit the cache
+        (this is how iterative deepening descends through repeated types
+        without ever re-matching rules).  Returns ``True`` if nodes were added.
+        """
+        store = self._segment_store
+        forest = self.forest
+        added = False
+        worklist = [
+            node.node_id
+            for node in forest.nodes()
+            if not node.children and node.depth < max_depth
+        ]
+        while worklist:
+            node_id = worklist.pop()
+            node = forest.node(node_id)
+            if node.children or node.depth >= max_depth:
+                continue
+            shape = self._shape(node.label)
+            segment = store.lookup(shape)
+            if segment is None:
+                self.cache_stats["misses"] += 1
+                self._missed_shapes.add(shape)
+                continue
+            self.cache_stats["hits"] += 1
+            self._hit_shapes.add(shape)
+            created = self._instantiate_segment(node_id, segment, max_depth)
+            if not created:
+                continue
+            added = True
+            self.cache_stats["splices"] += 1
+            self.cache_stats["nodes_spliced"] += len(created)
+            for child_id in created:
+                child = forest.node(child_id)
+                if not child.children and child.depth < max_depth:
+                    worklist.append(child_id)
+        return added
+
+    def _instantiate_segment(
+        self, root_id: int, segment: CachedSegment, max_depth: int
+    ) -> list[int]:
+        """Replay a cached segment under *root_id*, renaming nulls by substitution.
+
+        Every derivation is re-validated before being placed: the rule's guard
+        is re-matched against the (new) parent label, and the transported side
+        atoms must already label the forest — so each placed child is a firing
+        the ordinary rounds would also perform, only without the join.
+        Derivations whose side atoms are still missing are retried (a cousin
+        placed later in the same splice may provide them); those whose parents
+        were dropped, whose guard no longer matches (possible when a shape
+        collision merged nulls), or that would exceed the depth bound are
+        dropped — the saturation rounds recover anything genuinely derivable.
+        Returns the ids of the newly created nodes.
+        """
+        forest = self.forest
+        placed: dict[int, int] = {0: root_id}
+        created: list[int] = []
+        rules = self._canonical_rules
+        # The last element is the forest size at the entry's last failed
+        # side-atom check: labels only grow, so while the forest has not
+        # grown since, re-validating the same ground atoms cannot succeed
+        # and the entry is carried over without rework.
+        pending: list[tuple[int, int, int, int]] = [
+            (index + 1, parent_local, rule_index, -1)
+            for index, (parent_local, rule_index) in enumerate(segment.entries)
+            if rule_index < len(rules)
+        ]
+        progress = True
+        while pending and progress:
+            progress = False
+            retry: list[tuple[int, int, int, int]] = []
+            dropped: set[int] = set()
+            for local_index, parent_local, rule_index, checked_at in pending:
+                parent_id = placed.get(parent_local)
+                if parent_id is None:
+                    if parent_local in dropped:
+                        dropped.add(local_index)
+                    else:
+                        retry.append((local_index, parent_local, rule_index, checked_at))
+                    continue
+                if checked_at == len(forest):
+                    retry.append((local_index, parent_local, rule_index, checked_at))
+                    continue
+                parent = forest.node(parent_id)
+                if parent.depth >= max_depth:
+                    dropped.add(local_index)
+                    continue
+                prepared = rules[rule_index]
+                subst = match(prepared.guard, parent.label)
+                if subst is None:
+                    dropped.add(local_index)
+                    continue
+                if any(
+                    not forest.has_label(subst.apply_atom(atom))
+                    for atom in prepared.other_pos
+                ):
+                    retry.append((local_index, parent_local, rule_index, len(forest)))
+                    continue
+                ground_rule = _instantiate(prepared.rule, subst)
+                if forest.was_applied(parent_id, ground_rule):
+                    self._decided.add((parent_id, prepared.seq))
+                    for sibling in forest.children(parent_id):
+                        if sibling.edge_rule == ground_rule:
+                            placed[local_index] = sibling.node_id
+                            break
+                    progress = True
+                    continue
+                if len(forest) + 1 > self.max_nodes:
+                    raise GroundingError(
+                        f"chase forest would exceed the node budget of {self.max_nodes}; "
+                        "lower the depth bound or raise max_nodes"
+                    )
+                child = forest.add_child(
+                    parent_id, ground_rule.head, ground_rule, parent.level + 1
+                )
+                self._decided.add((parent_id, prepared.seq))
+                placed[local_index] = child.node_id
+                created.append(child.node_id)
+                progress = True
+            pending = retry
+        return created
+
+    # -- segment cache: recording -----------------------------------------------
+
+    def _record_segments(self, max_depth: int) -> None:
+        """Record the saturated subtree of the shallowest node of a shape.
+
+        Recording is *demand-driven*: a shape is extracted only when something
+        asked the store for it during this expansion and missed, or when it
+        labels a current frontier node — the shapes the next deepening step
+        will ask for.  Shapes nothing demanded are never extracted (a splice
+        that finds only a shallow segment simply chains: the spliced frontier
+        re-enters the cache), so shape-diverse forests whose types never
+        repeat cost one shape scan here, not one subtree extraction per node,
+        and nothing is speculatively re-recorded on later expansions.  Within
+        the demanded shapes, the shallowest node is recorded (it has the most
+        saturated levels below it) and only when its relative depth improves
+        on the stored segment.
+        """
+        store = self._segment_store
+        shallowest: dict[tuple, ChaseNode] = {}
+        frontier_shapes: set[tuple] = set()
+        for node in self.forest.nodes():
+            shape = self._shape(node.label)
+            if node.depth >= max_depth:
+                if node.depth == max_depth:
+                    frontier_shapes.add(shape)
+                continue
+            best = shallowest.get(shape)
+            if best is None or node.depth < best.depth:
+                shallowest[shape] = node
+        demanded = self._missed_shapes | frontier_shapes
+        # A *hit* shape is re-demanded when its stored segment went stale:
+        # the saturated subtree now holds more nodes than the segment has
+        # derivations (the segment was recorded from a forest where some side
+        # atoms were absent).  Without this, one hit on a stale segment would
+        # suppress re-recording forever and repeated workloads would silently
+        # re-derive the difference on every run.
+        for shape in self._hit_shapes - demanded:
+            node = shallowest.get(shape)
+            segment = store.peek(shape)
+            if (
+                node is not None
+                and segment is not None
+                and self._subtree_exceeds(node.node_id, len(segment))
+            ):
+                demanded.add(shape)
+        self._missed_shapes = set()
+        self._hit_shapes = set()
+        for shape in demanded:
+            node = shallowest.get(shape)
+            if node is None:
+                continue
+            relative_depth = max_depth - node.depth
+            existing = store.peek(shape)
+            if existing is not None and existing.relative_depth >= relative_depth:
+                # equal-depth staleness upgrades still need extraction; pure
+                # depth upgrades are gated the cheap way
+                if not self._subtree_exceeds(node.node_id, len(existing)):
+                    continue
+            entries = self._extract_segment(node)
+            if entries is None:
+                continue
+            if store.record(shape, relative_depth, entries):
+                self.cache_stats["segments_recorded"] += 1
+
+    def _subtree_exceeds(self, node_id: int, limit: int) -> bool:
+        """Does the subtree below *node_id* have more than *limit* descendants?
+
+        Counting walk with early exit, so the cost is bounded by ``limit + 1``
+        rather than the subtree size.
+        """
+        count = 0
+        stack = list(self.forest.node(node_id).children)
+        while stack:
+            count += 1
+            if count > limit:
+                return True
+            current = self.forest.node(stack.pop())
+            stack.extend(current.children)
+        return False
+
+    def _extract_segment(self, root: ChaseNode) -> Optional[tuple[tuple[int, int], ...]]:
+        """The subtree below *root* as position-independent derivation entries.
+
+        Preorder guarantees parents precede children, so entry ``i`` (local
+        node ``i + 1``) always refers to an earlier local index.  Returns
+        ``None`` when some edge cannot be attributed to a canonical rule
+        (defensive; every engine-built edge is attributable).
+        """
+        subtree = self.forest.subtree_nodes(root.node_id)
+        if len(subtree) - 1 > self._segment_store.max_segment_nodes:
+            return None
+        local: dict[int, int] = {root.node_id: 0}
+        entries: list[tuple[int, int]] = []
+        for node in subtree[1:]:
+            parent_local = local.get(node.parent)
+            if parent_local is None:  # pragma: no cover - preorder invariant
+                return None
+            rule_index = self._rule_index_of(
+                self.forest.node(node.parent).label, node.edge_rule
+            )
+            if rule_index is None:  # pragma: no cover - engine-built edges resolve
+                return None
+            local[node.node_id] = len(local)
+            entries.append((parent_local, rule_index))
+        return tuple(entries)
+
+    def _rule_index_of(self, parent_label: Atom, edge_rule: NormalRule) -> Optional[int]:
+        """The canonical rule whose guard match at *parent_label* fires *edge_rule*."""
+        key = (parent_label, edge_rule)
+        if key in self._derivation_memo:
+            return self._derivation_memo[key]
+        found: Optional[int] = None
+        for prepared in self._rules_by_structure.get(_rule_structure(edge_rule), ()):
+            if prepared.guard.predicate != parent_label.predicate:
+                continue
+            subst = match(prepared.guard, parent_label)
+            if subst is not None and _instantiate(prepared.rule, subst) == edge_rule:
+                found = self._canonical_index[prepared.rule]
+                break
+        self._derivation_memo[key] = found
+        return found
 
     # -- views used by the Datalog± engine ----------------------------------------------
 
@@ -204,6 +604,15 @@ class GuardedChaseEngine:
         )
 
 
+def _rule_structure(rule: NormalRule) -> tuple:
+    """The predicate-level structure of a rule — invariant under instantiation."""
+    return (
+        rule.head.predicate,
+        tuple(sorted(a.predicate for a in rule.body_pos)),
+        tuple(sorted(a.predicate for a in rule.body_neg)),
+    )
+
+
 def _index_by_predicate(atoms: Iterable[Atom]) -> dict[str, list[Atom]]:
     """Group atoms by predicate for body matching."""
     index: dict[str, list[Atom]] = {}
@@ -215,17 +624,28 @@ def _index_by_predicate(atoms: Iterable[Atom]) -> dict[str, list[Atom]]:
 def _match_remaining(
     patterns: Sequence[Atom],
     label_index: Mapping[str, Sequence[Atom]],
+    labels: frozenset[Atom],
     subst: Substitution,
 ):
-    """Match the non-guard positive body atoms against the forest labels."""
+    """Match the non-guard positive body atoms against the forest labels.
+
+    A pattern that is ground under the accumulated substitution (always the
+    case for guarded rules, whose guard binds every variable) is decided by a
+    single set-membership test instead of a scan over the predicate's atoms.
+    """
     if not patterns:
         yield subst
         return
     first, rest = patterns[0], patterns[1:]
+    grounded = subst.apply_atom(first)
+    if grounded.is_ground():
+        if grounded in labels:
+            yield from _match_remaining(rest, label_index, labels, subst)
+        return
     for candidate in label_index.get(first.predicate, ()):  # pragma: no branch
         extended = match(first, candidate, subst)
         if extended is not None:
-            yield from _match_remaining(rest, label_index, extended)
+            yield from _match_remaining(rest, label_index, labels, extended)
 
 
 def _instantiate(rule: NormalRule, subst: Substitution) -> NormalRule:
@@ -243,8 +663,16 @@ def chase_forest(
     max_depth: int,
     *,
     max_nodes: int = 1_000_000,
+    segment_cache: Union[SegmentStore, bool, None] = None,
 ) -> ChaseForest:
-    """Convenience wrapper: build and expand a guarded chase forest in one call."""
-    engine = GuardedChaseEngine(skolemized_program, database, max_nodes=max_nodes)
+    """Convenience wrapper: build and expand a guarded chase forest in one call.
+
+    Pass ``True`` (or an explicit :class:`~repro.chase.segments.SegmentStore`)
+    to splice memoized subtrees recorded by earlier forests over the same
+    rules; the result is identical either way.
+    """
+    engine = GuardedChaseEngine(
+        skolemized_program, database, max_nodes=max_nodes, segment_cache=segment_cache
+    )
     engine.expand(max_depth)
     return engine.forest

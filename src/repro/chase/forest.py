@@ -20,6 +20,7 @@ the expansion procedure lives in :mod:`repro.chase.engine`.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, Sequence
 
@@ -181,14 +182,31 @@ class ChaseForest:
     # -- structural queries ----------------------------------------------------------
 
     def level_of_atom(self, atom: Atom) -> Optional[int]:
-        """``level_P(a)``: the minimum level of a node labelled *atom* (``None`` = ∞)."""
+        """``level_P(a)``: the minimum level of a node labelled *atom* (``None`` = ∞).
+
+        **Contract:** the result is ``None`` exactly when no node of the forest
+        is *labelled* with the atom.  In particular, atoms that occur in the
+        forest only inside the negative body of an edge rule — i.e. atoms in
+        :meth:`negative_atoms` that were never derived — return ``None``, not
+        a level: the paper's ``level_P`` is defined on nodes, and a purely
+        negative hypothesis has no node.  Callers distinguishing "absent from
+        the forest" from "present only as a negative literal" should consult
+        :meth:`negative_atoms` as well.
+        """
         node_ids = self._by_label.get(atom)
         if not node_ids:
             return None
         return min(self._nodes[i].level for i in node_ids)
 
     def depth_of_atom(self, atom: Atom) -> Optional[int]:
-        """The minimum tree depth of a node labelled *atom* (``None`` if absent)."""
+        """The minimum tree depth of a node labelled *atom* (``None`` if absent).
+
+        **Contract:** like :meth:`level_of_atom`, this returns ``None`` for
+        any atom that labels no node — including atoms that occur *only* as
+        negative body literals of edge rules (``N(F)``); such atoms have no
+        node and therefore no depth.  Use :meth:`negative_atoms` to detect
+        that case explicitly.
+        """
         node_ids = self._by_label.get(atom)
         if not node_ids:
             return None
@@ -255,6 +273,97 @@ class ChaseForest:
                     positive.add(atom)
             negative.update(rule.body_neg)
         return positive, negative
+
+    # -- canonical levels --------------------------------------------------------
+
+    def recompute_levels(self) -> int:
+        """Assign every node its canonical derivation level (the paper's stage).
+
+        The construction of ``F(P)`` proceeds in stages: ``F_{i+1}`` fires
+        every rule whose guard labels a node of ``F_i`` and whose body lies in
+        ``label(F_i)``.  The stage of a node is therefore the least fixpoint of
+
+            ``level(root) = 0``
+            ``level(child) = 1 + max(level(parent), level(a) for side atoms a)``
+
+        where the level of an *atom* is the minimum level over nodes labelled
+        with it.  A single-shot saturating expansion assigns exactly these
+        values round by round, but incremental deepening (and segment
+        splicing) create nodes out of stage order; this method restores the
+        canonical values, making levels a pure function of the forest's
+        structure — independent of the order in which nodes were added.
+
+        Computed with a Dijkstra-style pass (nodes finalised in nondecreasing
+        level order), ``O((nodes + body atoms) log nodes)``.  Nodes whose
+        derivation cannot be replayed structurally keep their recorded level
+        (this can only happen in hand-built forests, never in forests produced
+        by :class:`repro.chase.engine.GuardedChaseEngine`).  Returns the
+        number of nodes whose level changed.
+        """
+        count = len(self._nodes)
+        if count == 0:
+            return 0
+        # The prerequisites of each non-root node: its parent plus the distinct
+        # positive body atoms of its edge rule other than the parent's label
+        # (the guard instance; its atom-level never exceeds the parent's).
+        sides: list[tuple[Atom, ...]] = []
+        for node in self._nodes:
+            if node.parent is None:
+                sides.append(())
+                continue
+            parent_label = self._nodes[node.parent].label
+            distinct: list[Atom] = []
+            seen: set[Atom] = set()
+            for atom in node.edge_rule.body_pos:
+                if atom != parent_label and atom not in seen:
+                    seen.add(atom)
+                    distinct.append(atom)
+            sides.append(tuple(distinct))
+
+        waiting = [0] * count
+        waiters_by_atom: dict[Atom, list[int]] = {}
+        final: list[Optional[int]] = [None] * count
+        atom_final: dict[Atom, int] = {}
+        heap: list[tuple[int, int]] = []
+        for node in self._nodes:
+            if node.parent is None:
+                heap.append((0, node.node_id))
+            else:
+                waiting[node.node_id] = 1 + len(sides[node.node_id])
+                for atom in sides[node.node_id]:
+                    waiters_by_atom.setdefault(atom, []).append(node.node_id)
+        heapq.heapify(heap)
+
+        def ready(node_id: int) -> None:
+            node = self._nodes[node_id]
+            level = final[node.parent]
+            for atom in sides[node_id]:
+                level = max(level, atom_final[atom])
+            heapq.heappush(heap, (level + 1, node_id))
+
+        while heap:
+            level, node_id = heapq.heappop(heap)
+            if final[node_id] is not None:
+                continue
+            final[node_id] = level
+            node = self._nodes[node_id]
+            for child_id in node.children:
+                waiting[child_id] -= 1
+                if waiting[child_id] == 0:
+                    ready(child_id)
+            if node.label not in atom_final:
+                atom_final[node.label] = level
+                for waiter_id in waiters_by_atom.get(node.label, ()):
+                    waiting[waiter_id] -= 1
+                    if waiting[waiter_id] == 0:
+                        ready(waiter_id)
+
+        changed = 0
+        for node_id, level in enumerate(final):
+            if level is not None and self._nodes[node_id].level != level:
+                self._nodes[node_id].level = level
+                changed += 1
+        return changed
 
     def __repr__(self) -> str:
         return (

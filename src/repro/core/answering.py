@@ -10,6 +10,13 @@ any per-query rewriting results — instead of rebuilding everything from
 scratch.  Applications that want full control can still construct a
 :class:`WellFoundedEngine` themselves (or call :func:`shared_engine`).
 
+The LRU composes with the chase-segment cache (:mod:`repro.chase.segments`):
+engine options — including ``segment_cache`` — are part of the cache key, and
+even when an engine is evicted and later rebuilt for the same program, the
+rebuilt engine re-enters the persistent per-fingerprint segment store and
+splices its chase segment instead of re-deriving it, so eviction costs far
+less than the original construction did.
+
 Cache keys use *identity* (``id``) for program/database objects — holding a
 strong reference to the keyed objects so identities cannot be recycled — and
 *value* for textual programs/databases.  Anything else (e.g. a one-off

@@ -222,6 +222,15 @@ class WellFoundedEngine:
     sips:
         SIPS strategy used by the rewriting (``"left-to-right"`` or
         ``"bound-first"``, or a :class:`~repro.rewrite.sips.SIPSStrategy`).
+    segment_cache:
+        Memoize saturated chase subtrees by canonical atom type
+        (:mod:`repro.chase.segments`) and splice them instead of re-deriving:
+        iterative deepening only expands genuinely new types, and the store
+        persists across engine instances (keyed by a program fingerprint) so
+        repeated workloads — including rebuilt engines after an
+        :mod:`repro.core.answering` LRU eviction and the relevance-pruned
+        sub-engines of the rewrite fallback — skip straight to splicing.
+        Answers are bit-identical with or without the cache (default on).
     """
 
     def __init__(
@@ -238,6 +247,7 @@ class WellFoundedEngine:
         skolem_args: str = "universal",
         rewrite: bool = False,
         sips: str = "left-to-right",
+        segment_cache: bool = True,
     ):
         if isinstance(program, str):
             program, parsed_facts = parse_program(program)
@@ -267,6 +277,7 @@ class WellFoundedEngine:
         self.strict = strict
         self.rewrite = rewrite
         self.sips = sips
+        self.segment_cache = segment_cache
         self._require_guarded = require_guarded
         self._skolem_args = skolem_args
         #: statistics of the most recent ``holds``/``answer`` call (see
@@ -283,7 +294,11 @@ class WellFoundedEngine:
         )
 
         self._chase = GuardedChaseEngine(
-            self.skolemized, database, max_nodes=max_nodes, require_guarded=require_guarded
+            self.skolemized,
+            database,
+            max_nodes=max_nodes,
+            require_guarded=require_guarded,
+            segment_cache=segment_cache,
         )
         self._model: Optional[DatalogWellFoundedModel] = None
         # The ground program induced by the chase segment, grown incrementally
@@ -387,6 +402,8 @@ class WellFoundedEngine:
                 "chase_nodes": len(self._chase.forest),
                 "depth": model.depth,
                 "converged": model.converged,
+                "segment_cache": self._chase.cache_stats["enabled"],
+                "nodes_spliced": self._chase.cache_stats["nodes_spliced"],
             }
             return model
 
@@ -465,6 +482,7 @@ class WellFoundedEngine:
                 require_guarded=self._require_guarded,
                 strict=self.strict,
                 skolem_args=self._skolem_args,
+                segment_cache=self.segment_cache,
             )
             self._pruned_engines[key] = sub_engine
             while len(self._pruned_engines) > _PRUNED_ENGINE_CACHE_SIZE:
@@ -476,6 +494,36 @@ class WellFoundedEngine:
     def chase_forest(self) -> ChaseForest:
         """The materialised chase segment used by the current model."""
         return self.model().forest()
+
+    def segment_cache_stats(self) -> dict:
+        """Counters of the chase-segment cache (see :mod:`repro.chase.segments`).
+
+        ``hits``/``misses``/``splices``/``nodes_spliced``/``segments_recorded``
+        are this engine's own traffic; ``store`` aggregates the persistent
+        store shared by every engine over the same program fingerprint
+        (absent when caching is disabled or unsupported).  The counters of the
+        relevance-pruned sub-engines of the rewrite fallback are summed in
+        under ``pruned_engines``.
+        """
+        stats: dict = dict(self._chase.cache_stats)
+        store = self._chase.segment_store
+        if store is not None:
+            stats["store"] = store.stats()
+            stats["fingerprint"] = store.fingerprint[:12]
+        if self._pruned_engines:
+            pruned = {
+                "hits": 0,
+                "misses": 0,
+                "splices": 0,
+                "nodes_spliced": 0,
+                "segments_recorded": 0,
+            }
+            for sub_engine in self._pruned_engines.values():
+                sub_stats = sub_engine.segment_cache_stats()
+                for key in pruned:
+                    pruned[key] += sub_stats.get(key, 0)
+            stats["pruned_engines"] = pruned
+        return stats
 
     def delta(self) -> int:
         """The theoretical locality constant δ of Prop. 12 for this program's schema."""

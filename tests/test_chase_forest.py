@@ -76,6 +76,54 @@ class TestChaseForestStructure:
         assert forest.depth_of_atom(parse_atom("r(a)")) == 2
         assert forest.level_of_atom(parse_atom("nothing(a)")) is None
 
+    def test_negative_only_atoms_have_no_level_or_depth(self):
+        """Regression: atoms present only inside negative bodies label no node,
+        so ``level_of_atom``/``depth_of_atom`` return ``None`` for them — they
+        are negative hypotheses (``N(F)``), not derived atoms (documented
+        contract of both methods)."""
+        forest = ChaseForest()
+        root = forest.add_root(parse_atom("p(a)"))
+        rule = NormalRule(
+            parse_atom("q(a)"), (parse_atom("p(a)"),), (parse_atom("blocked(a)"),)
+        )
+        forest.add_child(root.node_id, parse_atom("q(a)"), rule, level=1)
+        blocked = parse_atom("blocked(a)")
+        assert blocked in forest.negative_atoms()
+        assert forest.level_of_atom(blocked) is None
+        assert forest.depth_of_atom(blocked) is None
+        # engine-built forests behave the same way
+        program, database = parse_program(
+            """
+            p(X), not blocked(X) -> q(X).
+            p(a).
+            """
+        )
+        engine = GuardedChaseEngine(skolemize_program(program), database)
+        engine.expand(3)
+        assert parse_atom("blocked(a)") in engine.forest.negative_atoms()
+        assert engine.forest.level_of_atom(parse_atom("blocked(a)")) is None
+        assert engine.forest.depth_of_atom(parse_atom("blocked(a)")) is None
+
+    def test_recompute_levels_assigns_canonical_stages(self):
+        """Levels are the structural derivation stages after recomputation:
+        a child created "late" (with an inflated round number) is restored to
+        ``1 + max(parent level, side-atom levels)``."""
+        forest = ChaseForest()
+        root = forest.add_root(parse_atom("p(a)"))
+        side = forest.add_root(parse_atom("s(a)"))
+        rule1 = NormalRule(
+            parse_atom("q(a)"), (parse_atom("p(a)"), parse_atom("s(a)")), ()
+        )
+        child = forest.add_child(root.node_id, parse_atom("q(a)"), rule1, level=7)
+        rule2 = NormalRule(parse_atom("r(a)"), (parse_atom("q(a)"),), ())
+        grandchild = forest.add_child(child.node_id, parse_atom("r(a)"), rule2, level=9)
+        changed = forest.recompute_levels()
+        assert changed == 2
+        assert root.level == 0 and side.level == 0
+        assert child.level == 1 and grandchild.level == 2
+        # idempotent
+        assert forest.recompute_levels() == 0
+
 
 class TestGuardedChaseEngine:
     def test_literature_example_terminates_and_derives_expected_atoms(self):

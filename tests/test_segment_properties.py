@@ -1,0 +1,160 @@
+"""Property tests: the chase-segment cache never changes anything observable.
+
+The contract of :mod:`repro.chase.segments` is that caching affects *speed
+only*: across random guarded workloads, an engine with the cache on — cold or
+warm, with any deepening schedule, classic or through the magic-sets rewrite
+path (including its relevance-pruned fallback sub-engines, which carry their
+own per-fingerprint stores) — produces the same chase segment (labels, depths,
+canonical levels, ground rules) and the same three-valued model and query
+answers as an engine with the cache off.
+
+Labels, levels and rules are compared *exactly* rather than up to null
+renaming: with a fixed database the Skolemised nulls are deterministic, so
+"equal up to renaming" and "equal" coincide — and exact equality is the
+stronger check.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generators import random_guarded_program
+from repro.chase.segments import clear_segment_stores
+from repro.core.engine import WellFoundedEngine
+from repro.exceptions import GroundingError
+from repro.lang.atoms import Atom
+from repro.lang.queries import NormalBCQ
+from repro.lang.terms import Constant, Variable
+
+X = Variable("X")
+
+COMMON_SETTINGS = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def guarded_workloads(draw):
+    """A random guarded Datalog± workload plus a query against it."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    num_predicates = draw(st.integers(min_value=1, max_value=3))
+    num_rules = draw(st.integers(min_value=2, max_value=5))
+    negation_prob = draw(st.sampled_from([0.0, 0.4, 0.8]))
+    existential_prob = draw(st.sampled_from([0.0, 0.4, 0.8]))
+    program, database = random_guarded_program(
+        num_predicates,
+        2,
+        num_rules,
+        negation_prob=negation_prob,
+        existential_prob=existential_prob,
+        num_constants=3,
+        num_facts=8,
+        seed=seed,
+    )
+    predicate = draw(st.sampled_from(sorted({f"q{i}" for i in range(num_predicates)})))
+    constant = Constant(f"c{draw(st.integers(min_value=0, max_value=2))}")
+    query = draw(
+        st.sampled_from(
+            [
+                NormalBCQ((Atom(predicate, (constant,)),)),
+                NormalBCQ((Atom(predicate, (X,)),)),
+                NormalBCQ((Atom(predicate, (X,)),), (Atom(predicate, (constant,)),)),
+            ]
+        )
+    )
+    return program, database, query
+
+
+def chase_signature(engine: WellFoundedEngine):
+    """The full observable state of an engine's chase segment and model.
+
+    A chase that exceeds the node budget is itself an observable outcome (the
+    saturated segment is too large in *any* construction order), represented
+    by a sentinel so cached and uncached runs must agree on it too.
+    """
+    try:
+        model = engine.model()
+    except GroundingError:
+        return "node-budget-exceeded"
+    forest = model.forest()
+    labels = forest.labels()
+    return (
+        labels,
+        frozenset(forest.edge_rules()),
+        {atom: forest.depth_of_atom(atom) for atom in labels},
+        {atom: forest.level_of_atom(atom) for atom in labels},
+        model.true_atoms(),
+        model.false_atoms(),
+        model.undefined_atoms(),
+        (model.depth, model.converged, model.iterations),
+    )
+
+
+@given(workload=guarded_workloads())
+@settings(max_examples=40, **COMMON_SETTINGS)
+def test_cached_chase_equals_uncached_chase(workload):
+    """Cold and warm cached engines reproduce the uncached chase exactly."""
+    program, database, _ = workload
+    clear_segment_stores()
+    options = dict(max_depth=13, max_nodes=2_000)
+    uncached = WellFoundedEngine(program, database, segment_cache=False, **options)
+    expected = chase_signature(uncached)
+    cold = WellFoundedEngine(program, database, segment_cache=True, **options)
+    assert chase_signature(cold) == expected
+    warm = WellFoundedEngine(program, database, segment_cache=True, **options)
+    assert chase_signature(warm) == expected
+
+
+def _holds(engine: WellFoundedEngine, query, *, rewrite: bool):
+    """``holds`` with the node-budget outcome reified (see chase_signature)."""
+    try:
+        return engine.holds(query, rewrite=rewrite)
+    except GroundingError:
+        return "node-budget-exceeded"
+
+
+@given(workload=guarded_workloads())
+@settings(max_examples=30, **COMMON_SETTINGS)
+def test_cached_answers_equal_uncached_answers_under_rewrite(workload):
+    """The cache composes with the magic-sets path and its chase fallback."""
+    program, database, query = workload
+    clear_segment_stores()
+    options = dict(max_depth=13, max_nodes=2_000)
+    uncached = WellFoundedEngine(program, database, segment_cache=False, **options)
+    cached = WellFoundedEngine(program, database, segment_cache=True, **options)
+    for rewrite in (False, True):
+        assert _holds(cached, query, rewrite=rewrite) == _holds(
+            uncached, query, rewrite=rewrite
+        ), (query, rewrite, cached.last_query_stats)
+    # A second cached engine answers from a warm store.  Its twin must see the
+    # *same call sequence* (rewrite=True only): an engine whose earlier call
+    # already raised the node budget retries model() on its partial forest —
+    # pre-existing engine semantics that depend on call history, not caching.
+    warm = WellFoundedEngine(program, database, segment_cache=True, **options)
+    fresh_uncached = WellFoundedEngine(program, database, segment_cache=False, **options)
+    assert _holds(warm, query, rewrite=True) == _holds(
+        fresh_uncached, query, rewrite=True
+    )
+
+
+@given(
+    workload=guarded_workloads(),
+    initial_depth=st.integers(min_value=1, max_value=4),
+    depth_step=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=25, **COMMON_SETTINGS)
+def test_cache_is_schedule_independent(workload, initial_depth, depth_step):
+    """Any deepening schedule agrees with its uncached twin, node for node."""
+    program, database, _ = workload
+    clear_segment_stores()
+    options = dict(
+        initial_depth=initial_depth,
+        depth_step=depth_step,
+        max_depth=initial_depth + 3 * depth_step,
+        max_nodes=2_000,
+    )
+    uncached = WellFoundedEngine(program, database, segment_cache=False, **options)
+    cached = WellFoundedEngine(program, database, segment_cache=True, **options)
+    assert chase_signature(cached) == chase_signature(uncached)

@@ -1,0 +1,351 @@
+"""Tests for the chase-segment cache (:mod:`repro.chase.segments`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.generators import paper_example_program
+from repro.chase.engine import GuardedChaseEngine, chase_forest
+from repro.chase.segments import (
+    SegmentStore,
+    canonical_atom_shape,
+    clear_segment_stores,
+    program_fingerprint,
+    segment_store_info,
+    shared_segment_store,
+)
+from repro.cli import main
+from repro.core.engine import WellFoundedEngine
+from repro.exceptions import GroundingError
+from repro.lang.atoms import Atom
+from repro.lang.parser import parse_program
+from repro.lang.program import Database, DatalogPMProgram
+from repro.lang.rules import NTGD
+from repro.lang.skolem import skolemize_program
+from repro.lang.terms import Constant, FunctionTerm, Variable
+
+
+@pytest.fixture(autouse=True)
+def _fresh_stores():
+    """Each test starts and ends with an empty segment-store registry."""
+    clear_segment_stores()
+    yield
+    clear_segment_stores()
+
+
+def n(name: str) -> FunctionTerm:
+    """A labelled null."""
+    return FunctionTerm(name, ())
+
+
+class TestCanonicalAtomShape:
+    def test_equal_up_to_null_renaming(self):
+        left = Atom("p", (Constant("a"), n("f1"), n("f2")))
+        right = Atom("p", (Constant("a"), n("g7"), n("g9")))
+        assert canonical_atom_shape(left) == canonical_atom_shape(right)
+
+    def test_null_equality_pattern_distinguishes(self):
+        repeated = Atom("p", (n("f1"), n("f1")))
+        distinct = Atom("p", (n("f1"), n("f2")))
+        assert canonical_atom_shape(repeated) != canonical_atom_shape(distinct)
+
+    def test_constants_are_fixed(self):
+        assert canonical_atom_shape(Atom("p", (Constant("a"),))) != canonical_atom_shape(
+            Atom("p", (Constant("b"),))
+        )
+
+    def test_predicate_distinguishes(self):
+        assert canonical_atom_shape(Atom("p", ())) != canonical_atom_shape(Atom("q", ()))
+
+
+class TestProgramFingerprint:
+    def _rules(self, text: str):
+        program, _ = parse_program(text)
+        return list(skolemize_program(program))
+
+    def test_order_invariant(self):
+        a = self._rules("p(X) -> q(X). q(X) -> r(X).")
+        b = self._rules("q(X) -> r(X). p(X) -> q(X).")
+        assert program_fingerprint(a) == program_fingerprint(b)
+
+    def test_different_rules_differ(self):
+        a = self._rules("p(X) -> q(X).")
+        b = self._rules("p(X) -> r(X).")
+        assert program_fingerprint(a) != program_fingerprint(b)
+
+    def test_guard_mode_distinguishes(self):
+        rules = self._rules("p(X) -> q(X).")
+        assert program_fingerprint(rules) != program_fingerprint(
+            rules, require_guarded=False
+        )
+
+    def test_shared_store_is_per_fingerprint(self):
+        rules = self._rules("p(X) -> q(X).")
+        assert shared_segment_store(rules) is shared_segment_store(list(rules))
+        other = self._rules("p(X) -> r(X).")
+        assert shared_segment_store(rules) is not shared_segment_store(other)
+
+
+class TestSegmentStore:
+    def test_record_lookup_roundtrip(self):
+        store = SegmentStore("fp")
+        shape = canonical_atom_shape(Atom("p", (n("f"),)))
+        assert store.lookup(shape) is None
+        assert store.record(shape, 3, ((0, 0), (1, 1)))
+        segment = store.lookup(shape)
+        assert segment.relative_depth == 3 and segment.entries == ((0, 0), (1, 1))
+        assert store.stats()["hits"] == 1 and store.stats()["misses"] == 1
+
+    def test_only_deeper_recordings_replace(self):
+        store = SegmentStore("fp")
+        shape = canonical_atom_shape(Atom("p", ()))
+        assert store.record(shape, 3, ((0, 0),))
+        assert not store.needs(shape, 3)
+        assert not store.record(shape, 2, ())
+        assert store.lookup(shape).relative_depth == 3
+        assert store.needs(shape, 4)
+
+    def test_zero_depth_empty_and_oversized_segments_rejected(self):
+        store = SegmentStore("fp", max_segment_nodes=1)
+        shape = canonical_atom_shape(Atom("p", ()))
+        assert not store.record(shape, 0, ((0, 0),))
+        assert not store.record(shape, 2, ())  # "no children" is DB-dependent
+        assert not store.record(shape, 2, ((0, 0), (1, 0)))
+        assert len(store) == 0
+
+    def test_stale_equal_depth_segment_is_replaced_by_larger(self):
+        store = SegmentStore("fp")
+        shape = canonical_atom_shape(Atom("p", ()))
+        assert store.record(shape, 2, ((0, 0),))
+        assert not store.record(shape, 2, ((0, 1),))  # same depth, same size
+        assert store.record(shape, 2, ((0, 0), (1, 1)))  # same depth, larger
+        assert store.lookup(shape).entries == ((0, 0), (1, 1))
+
+    def test_lru_eviction(self):
+        store = SegmentStore("fp", max_segments=2)
+        shapes = [canonical_atom_shape(Atom(f"p{i}", ())) for i in range(3)]
+        for shape in shapes:
+            store.record(shape, 1, ((0, 0),))
+        assert len(store) == 2
+        assert store.lookup(shapes[0]) is None  # evicted first
+        assert store.stats()["evictions"] == 1
+
+
+def _forest_signature(engine: WellFoundedEngine):
+    """Everything structural about an engine's chase segment and model."""
+    model = engine.model()
+    forest = model.forest()
+    labels = forest.labels()
+    return (
+        labels,
+        frozenset(forest.edge_rules()),
+        {atom: (forest.depth_of_atom(atom), forest.level_of_atom(atom)) for atom in labels},
+        model.true_atoms(),
+        model.false_atoms(),
+        model.undefined_atoms(),
+        (model.depth, model.converged, model.iterations),
+    )
+
+
+class TestCachedChaseEquality:
+    def test_paper_example_identical_with_and_without_cache(self):
+        program, database = paper_example_program(2)
+        uncached = WellFoundedEngine(program, database, segment_cache=False)
+        cold = WellFoundedEngine(program, database, segment_cache=True)
+        warm = WellFoundedEngine(program, database, segment_cache=True)
+        expected = _forest_signature(uncached)
+        assert _forest_signature(cold) == expected
+        assert _forest_signature(warm) == expected
+
+    def test_store_persists_across_engine_instances(self):
+        program, database = paper_example_program(1)
+        first = WellFoundedEngine(program, database, segment_cache=True)
+        first.model()
+        assert first.segment_cache_stats()["segments_recorded"] > 0
+        second = WellFoundedEngine(program, database, segment_cache=True)
+        second.model()
+        stats = second.segment_cache_stats()
+        assert stats["nodes_spliced"] > 0, "warm engine should splice, not re-derive"
+        assert stats["segments_recorded"] == 0, "the store already knew every type"
+        assert stats["store"]["hits"] > 0
+
+    def test_store_is_database_independent(self):
+        """Same rules, different database: deep (all-null) types still splice."""
+        program, database = paper_example_program(0)
+        WellFoundedEngine(program, database, segment_cache=True).model()
+        _, other_database = paper_example_program(3)
+        engine = WellFoundedEngine(program, other_database, segment_cache=True)
+        expected = _forest_signature(
+            WellFoundedEngine(program, other_database, segment_cache=False)
+        )
+        assert _forest_signature(engine) == expected
+        assert engine.segment_cache_stats()["nodes_spliced"] > 0
+
+    def test_stale_segment_is_superseded_not_pinned(self):
+        """Regression: a segment recorded from a poorer database must not
+        suppress recording the complete subtree observed later — one hit on a
+        stale (here: would-be empty) segment used to block re-recording
+        forever, so repeated runs re-derived the difference every time."""
+        program = "p(X), q(X) -> r(X)."
+        poor = Database([Atom("p", (Constant("a"),))])
+        rich = Database([Atom("p", (Constant("a"),)), Atom("q", (Constant("a"),))])
+        WellFoundedEngine(program, poor, segment_cache=True).model()  # p(a) alone: no firing
+        WellFoundedEngine(program, rich, segment_cache=True).model()  # derives r(a), must record it
+        third = WellFoundedEngine(program, rich, segment_cache=True)
+        third.model()
+        assert third.holds("? r(a)")
+        assert third.segment_cache_stats()["nodes_spliced"] > 0, (
+            "third engine should splice r(a), not re-derive it",
+            third.segment_cache_stats(),
+        )
+
+    def test_disabled_cache_reports_disabled(self):
+        program, database = paper_example_program(0)
+        engine = WellFoundedEngine(program, database, segment_cache=False)
+        engine.model()
+        stats = engine.segment_cache_stats()
+        assert stats["enabled"] is False and "store" not in stats
+        assert segment_store_info()["stores"] == 0
+
+    def test_unguarded_fallback_disables_cache(self):
+        """A guard that cannot bind every variable makes firing ambiguous."""
+        x, y = Variable("X"), Variable("Y")
+        program = DatalogPMProgram(
+            [NTGD((Atom("p", (x,)), Atom("q", (y,))), Atom("r", (x,)), label="join")]
+        )
+        database = Database([Atom("p", (Constant("a"),)), Atom("q", (Constant("b"),))])
+        engine = WellFoundedEngine(
+            program, database, require_guarded=False, segment_cache=True
+        )
+        engine.model()
+        stats = engine.segment_cache_stats()
+        assert stats["enabled"] is False
+        assert "guard" in stats["disabled_reason"]
+        # declined caching must not register an orphan store either
+        assert segment_store_info()["stores"] == 0
+        assert engine.holds("? r(a)")
+
+
+class TestSharedNullCollisions:
+    """Frontier atoms sharing a null must keep their own identities."""
+
+    PROGRAM = """
+    a(X) -> exists Y r(X, Y).
+    r(X, Y) -> p(Y).
+    r(X, Y) -> q(Y).
+    p(X), not q(X) -> only_p(X).
+    a(c1).
+    a(c2).
+    """
+
+    def test_shared_nulls_are_not_merged_across_siblings(self):
+        """p(ν) and q(ν) share the null ν of r(c, ν); p's and q's shapes
+        coincide across the two chains, yet each splice must reuse *its own*
+        chain's null, never the other chain's."""
+        uncached = WellFoundedEngine(self.PROGRAM, segment_cache=False)
+        cold = WellFoundedEngine(self.PROGRAM, segment_cache=True)
+        warm = WellFoundedEngine(self.PROGRAM, segment_cache=True)
+        expected = _forest_signature(uncached)
+        assert _forest_signature(cold) == expected
+        assert _forest_signature(warm) == expected
+        forest = warm.model().forest()
+        # Every p-node's null must be the null of an r-node of the same tree.
+        for node in forest.nodes():
+            if node.label.predicate in ("p", "q"):
+                parent = forest.parent(node.node_id)
+                assert parent.label.predicate == "r"
+                assert node.label.args[0] == parent.label.args[1]
+
+    def test_per_chain_answers_unchanged(self):
+        engine = WellFoundedEngine(self.PROGRAM, segment_cache=True)
+        baseline = WellFoundedEngine(self.PROGRAM, segment_cache=False)
+        for query in ("? p(X)", "? q(X)", "? only_p(X)"):
+            assert engine.holds(query) == baseline.holds(query), query
+
+
+class TestChaseEngineCache:
+    def _skolemized(self, text: str):
+        program, database = parse_program(text)
+        return skolemize_program(program), database
+
+    def test_chase_forest_accepts_store(self):
+        rules, database = self._skolemized("e(X) -> exists Y n(X, Y). n(X,Y) -> e(Y). e(c).")
+        store = shared_segment_store(rules)
+        first = chase_forest(rules, database, 6, segment_cache=store)
+        second = chase_forest(rules, database, 6, segment_cache=store)
+        plain = chase_forest(rules, database, 6)
+        assert first.labels() == second.labels() == plain.labels()
+        assert set(first.edge_rules()) == set(second.edge_rules()) == set(plain.edge_rules())
+        assert store.stats()["hits"] > 0
+
+    def test_splice_respects_depth_bound(self):
+        rules, database = self._skolemized("e(X) -> exists Y n(X, Y). n(X,Y) -> e(Y). e(c).")
+        store = shared_segment_store(rules)
+        chase_forest(rules, database, 10, segment_cache=store)
+        shallow = chase_forest(rules, database, 4, segment_cache=store)
+        assert shallow.max_depth() <= 4
+        assert shallow.labels() == chase_forest(rules, database, 4).labels()
+
+    def test_splice_respects_node_budget(self):
+        rules, database = self._skolemized("e(X) -> exists Y n(X, Y). n(X,Y) -> e(Y). e(c).")
+        store = shared_segment_store(rules)
+        chase_forest(rules, database, 12, segment_cache=store)
+        engine = GuardedChaseEngine(rules, database, max_nodes=5, segment_cache=store)
+        with pytest.raises(GroundingError):
+            engine.expand(12)
+
+    def test_deepening_engine_reuses_own_segments(self):
+        rules, database = self._skolemized("e(X) -> exists Y n(X, Y). n(X,Y) -> e(Y). e(c).")
+        store = shared_segment_store(rules)
+        engine = GuardedChaseEngine(rules, database, segment_cache=store)
+        engine.expand(4)
+        engine.expand(8)
+        assert engine.cache_stats["nodes_spliced"] > 0
+        plain = chase_forest(rules, database, 8)
+        assert engine.forest.labels() == plain.labels()
+        for atom in plain.labels():
+            assert engine.forest.level_of_atom(atom) == plain.level_of_atom(atom)
+
+
+class TestCLISegmentCacheFlags:
+    PROGRAM = """
+    scientist(X) -> exists Y isAuthorOf(X, Y).
+    scientist(john).
+    """
+
+    @pytest.fixture()
+    def program_file(self, tmp_path):
+        path = tmp_path / "prog.dlp"
+        path.write_text(self.PROGRAM)
+        return str(path)
+
+    def test_flag_defaults_to_enabled(self):
+        from repro.cli import build_argument_parser
+
+        args = build_argument_parser().parse_args(["prog.dlp"])
+        assert args.segment_cache is True
+        args = build_argument_parser().parse_args(["prog.dlp", "--no-segment-cache"])
+        assert args.segment_cache is False
+
+    def test_answers_identical_either_way(self, program_file, capsys):
+        assert main([program_file, "--query", "? isAuthorOf(john, Y)"]) == 0
+        with_cache = capsys.readouterr().out
+        assert (
+            main([program_file, "--no-segment-cache", "--query", "? isAuthorOf(john, Y)"])
+            == 0
+        )
+        without_cache = capsys.readouterr().out
+        assert with_cache == without_cache
+        assert "? isAuthorOf(john, Y) : yes" in with_cache
+
+    def test_verbose_prints_cache_stats(self, program_file, capsys):
+        assert main([program_file, "--verbose", "--query", "? scientist(john)"]) == 0
+        out = capsys.readouterr().out
+        assert "# segment-cache:" in out
+        assert "# segment-store:" in out
+
+    def test_verbose_with_cache_disabled(self, program_file, capsys):
+        assert main([program_file, "--verbose", "--no-segment-cache", "--atom", "scientist(john)"]) == 0
+        out = capsys.readouterr().out
+        assert "# segment-cache:" in out
+        assert "enabled=False" in out
