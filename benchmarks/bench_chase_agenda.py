@@ -1,0 +1,217 @@
+"""Agenda-based chase saturation benchmark — incremental worklist vs. re-scan.
+
+PR 3 left the chase engine's saturation loop round-based: every round
+re-scanned every forest node against every rule, O(nodes × rules) per round
+even with the decided-pair memo, which dominated first-run and deepening cost
+on the paper's guarded-chase fragment.  This PR replaces it with a
+Dowling–Gallier-style agenda (``saturation="agenda"``, the default): new
+nodes enter a worklist, blocked (node, rule) pairs watch their first missing
+side atom, and each pair is considered once instead of once per round.  The
+historical loop is retained verbatim as ``saturation="scan"`` and is the
+baseline here.
+
+The workload is the deep, wide program of :mod:`bench_chase_cache`
+(existential descent plus side-gated rules that fire only near the first
+root): its chase runs one round per depth level, so the round-based scan
+re-visits every node ``O(depth)`` times while the agenda visits it once.
+Two scenarios per size, with the segment cache **off** in both (this
+benchmark isolates raw saturation; the cache is ``bench_chase_cache``'s
+subject):
+
+* **first-run saturation** (the headline ``largest_size_speedup``): one
+  fresh chase engine expanded straight to the target depth;
+* **deepening** (``largest_size_speedup_deepening``): one engine stepped
+  through an iterative-deepening schedule to the same depth, the
+  :class:`repro.core.engine.WellFoundedEngine` usage pattern.
+
+Forests are checked to be bit-identical between the modes (labels, parents,
+edge rules and canonical levels) via a canonical node signature.  Running the
+module directly prints the comparison table and writes the machine-readable
+``BENCH_chase_agenda.json`` at the repository root (uploaded as a CI
+artifact; ROADMAP's BENCH trajectory asks ≥ 3× at the largest size).  Pass
+explicit depths for a quick smoke run
+(``python benchmarks/bench_chase_agenda.py 12``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import ResultTable
+from repro.chase.engine import GuardedChaseEngine
+from repro.lang.skolem import skolemize_program
+
+from bench_chase_cache import deep_type_workload
+
+SMOKE_SIZES = [8, 12]
+#: Chase depths for the standalone report; the largest is where the JSON's
+#: headline speedup is measured.
+REPORT_SIZES = [32, 48, 64]
+
+#: Deepening schedule factor: the deepening scenario expands at 3, 5, 9, …
+#: up to the target depth (initial_depth=3, depth_step doubling-ish).
+DEEPENING_STEPS = (3, 5, 9, 17, 33)
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_chase_agenda.json"
+
+
+def forest_signature(forest) -> frozenset:
+    """Canonical identity of a forest: nodes keyed by root label + rule path."""
+    entries = []
+    for node in forest.nodes():
+        path = []
+        current = node
+        while current.parent is not None:
+            path.append(current.edge_rule)
+            current = forest.node(current.parent)
+        entries.append(
+            (current.label, tuple(reversed(path)), node.label, node.depth, node.level)
+        )
+    return frozenset(entries)
+
+
+def _first_run(skolemized, database, depth: int, saturation: str):
+    """One fresh chase engine, expanded straight to *depth* (cache off)."""
+    engine = GuardedChaseEngine(
+        skolemized, database, saturation=saturation, segment_cache=False
+    )
+    started = time.perf_counter()
+    engine.expand(depth)
+    return time.perf_counter() - started, engine.forest
+
+
+def _deepening(skolemized, database, depth: int, saturation: str):
+    """One engine stepped through the deepening schedule up to *depth*."""
+    engine = GuardedChaseEngine(
+        skolemized, database, saturation=saturation, segment_cache=False
+    )
+    schedule = [step for step in DEEPENING_STEPS if step < depth] + [depth]
+    started = time.perf_counter()
+    for step in schedule:
+        engine.expand(step)
+    return time.perf_counter() - started, engine.forest
+
+
+@pytest.mark.experiment("chase_agenda")
+@pytest.mark.parametrize("depth", SMOKE_SIZES)
+def test_agenda_forest_matches_scan(depth):
+    """Both saturation modes must build bit-identical forests."""
+    program, database = deep_type_workload(depth, gated=4)
+    skolemized = skolemize_program(program)
+    _, agenda = _first_run(skolemized, database, depth, "agenda")
+    _, scan = _first_run(skolemized, database, depth, "scan")
+    assert forest_signature(agenda) == forest_signature(scan)
+
+
+@pytest.mark.experiment("chase_agenda")
+@pytest.mark.parametrize("depth", SMOKE_SIZES)
+def test_agenda_deepening_matches_scan(depth):
+    program, database = deep_type_workload(depth, gated=4)
+    skolemized = skolemize_program(program)
+    _, agenda = _deepening(skolemized, database, depth, "agenda")
+    _, scan = _first_run(skolemized, database, depth, "scan")
+    assert forest_signature(agenda) == forest_signature(scan)
+
+
+def measure(sizes=None) -> dict:
+    """Compare agenda and scan saturation over growing chase depths."""
+    sizes = list(sizes) if sizes else list(REPORT_SIZES)
+    rows = []
+    for depth in sizes:
+        program, database = deep_type_workload(depth)
+        skolemized = skolemize_program(program)
+
+        scan_seconds, scan_forest = _first_run(skolemized, database, depth, "scan")
+        agenda_seconds, agenda_forest = _first_run(
+            skolemized, database, depth, "agenda"
+        )
+        identical = forest_signature(agenda_forest) == forest_signature(scan_forest)
+
+        deep_scan_seconds, deep_scan_forest = _deepening(
+            skolemized, database, depth, "scan"
+        )
+        deep_agenda_seconds, deep_agenda_forest = _deepening(
+            skolemized, database, depth, "agenda"
+        )
+        identical = identical and (
+            forest_signature(deep_agenda_forest) == forest_signature(deep_scan_forest)
+        )
+
+        rows.append(
+            {
+                "depth": depth,
+                "nodes": len(agenda_forest),
+                "rules": len(program),
+                "scan_seconds": scan_seconds,
+                "agenda_seconds": agenda_seconds,
+                "speedup_first_run": scan_seconds / agenda_seconds
+                if agenda_seconds > 0
+                else float("inf"),
+                "deepening_scan_seconds": deep_scan_seconds,
+                "deepening_agenda_seconds": deep_agenda_seconds,
+                "speedup_deepening": deep_scan_seconds / deep_agenda_seconds
+                if deep_agenda_seconds > 0
+                else float("inf"),
+                "forests_identical": identical,
+            }
+        )
+    largest = rows[-1]
+    return {
+        "experiment": "chase_agenda",
+        "workload": "deep_type_workload(depth) [bench_chase_cache], segment cache off",
+        "sizes": sizes,
+        "results": rows,
+        "largest_size": largest["depth"],
+        "largest_size_speedup": largest["speedup_first_run"],
+        "largest_size_speedup_deepening": largest["speedup_deepening"],
+        "all_forests_identical": all(row["forests_identical"] for row in rows),
+    }
+
+
+def report(sizes=None) -> dict:
+    """Print the comparison table and write ``BENCH_chase_agenda.json``."""
+    data = measure(sizes)
+    table = ResultTable(
+        "Agenda-based chase saturation — incremental worklist vs. round-based re-scan",
+        [
+            "depth",
+            "nodes",
+            "scan (s)",
+            "agenda (s)",
+            "speedup",
+            "deepen scan (s)",
+            "deepen agenda (s)",
+            "speedup",
+        ],
+    )
+    for row in data["results"]:
+        table.add_row(
+            row["depth"],
+            row["nodes"],
+            row["scan_seconds"],
+            row["agenda_seconds"],
+            f"{row['speedup_first_run']:.1f}x",
+            row["deepening_scan_seconds"],
+            row["deepening_agenda_seconds"],
+            f"{row['speedup_deepening']:.1f}x",
+        )
+    table.print()
+    print(
+        f"\nlargest size (depth {data['largest_size']}): first-run speedup "
+        f"{data['largest_size_speedup']:.1f}x, deepening speedup "
+        f"{data['largest_size_speedup_deepening']:.1f}x, forests identical: "
+        f"{data['all_forests_identical']}"
+    )
+    RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+    return data
+
+
+if __name__ == "__main__":
+    cli_sizes = [int(arg) for arg in sys.argv[1:]] or None
+    report(cli_sizes)

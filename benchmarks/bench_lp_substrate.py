@@ -37,7 +37,7 @@ from repro.bench.harness import ResultTable, fit_powerlaw_exponent, time_call
 GAME_SIZES = [20, 40, 80, 160]
 #: Sizes used by the standalone report; the largest one is where the JSON's
 #: headline naive-vs-indexed speedup is measured.
-REPORT_SIZES = [40, 80, 160, 320, 640]
+REPORT_SIZES = [40, 80, 160, 320, 640, 1280]
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_lp_substrate.json"
 

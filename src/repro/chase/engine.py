@@ -1,41 +1,63 @@
-"""The guarded chase engine: breadth-first expansion of ``F⁺(P)`` (Sec. 2.5, 3).
+"""The guarded chase engine: agenda-driven expansion of ``F⁺(P)`` (Sec. 2.5, 3).
 
 The engine materialises a finite, depth-bounded segment of the guarded chase
 forest of ``P = D ∪ Σ^f``:
 
 * roots are the database facts (plus ground facts of the Skolemised program);
-* in every round, for each node ``v`` and each ground instance ``r`` of a
-  Skolemised rule whose guard instantiates to ``label(v)`` and whose remaining
-  *positive* body atoms all occur as labels of the current forest, a child of
-  ``v`` labelled ``H(r)`` is added (once per ``(v, r)`` pair), with the edge
+* for each node ``v`` and each ground instance ``r`` of a Skolemised rule
+  whose guard instantiates to ``label(v)`` and whose remaining *positive*
+  body atoms all occur as labels of the current forest, a child of ``v``
+  labelled ``H(r)`` is added (once per ``(v, r)`` pair), with the edge
   carrying the full rule ``r`` — negative body included — exactly as in the
   construction of ``F⁺(P)``;
 * nodes at the configured depth bound are not expanded; they form the
   *frontier* that the Datalog± engine inspects for its convergence test.
 
+Saturation is **agenda-driven** (``saturation="agenda"``, the default): a
+worklist of newly inserted forest nodes is drained node by node, and each
+``(node, rule)`` pair whose side atoms are not yet all present registers a
+*watched-atom waiter* on its first missing ground side atom (the
+Dowling–Gallier discipline of :mod:`repro.lp.fixpoint`, lifted from ground
+rules to chase firings).  A node is therefore matched against the rules when
+it appears — and again only when a watched atom arrives or the depth bound
+rises — instead of being re-scanned against every rule in every breadth-first
+round.  The historical round-based scan is retained verbatim as
+``saturation="scan"`` (:meth:`GuardedChaseEngine._expand_one_round_scan`); it
+reaches the identical least fixpoint and serves as the differential-testing
+reference.  The saturated forest within a depth bound is the least fixpoint
+of the chase step, so the two modes build bit-identical forests (same node
+trees, labels, ground rules, canonical levels) under every agenda ordering.
+
 The expansion is incremental: calling :meth:`GuardedChaseEngine.expand` again
 with a larger depth bound continues from the existing forest instead of
-rebuilding it.
+rebuilding it (frontier nodes deferred at the old bound are re-enqueued).  A
+:class:`~repro.exceptions.GroundingError` from an exhausted node budget is
+*resumable*: the agenda retains the unfinished work, and the next
+:meth:`expand` call finishes saturation (or re-raises, if the budget is still
+too small) before doing anything else.
 
 With a :class:`~repro.chase.segments.SegmentStore` attached (``segment_cache``),
 expansion additionally *splices* memoized subtrees under nodes whose canonical
 atom shape was expanded before — by this engine, at a smaller depth, or by any
 previous engine over the same rule set — instead of re-deriving them through
 rule matching, and records newly saturated subtrees back into the store.  The
-saturation rounds still run to quiescence afterwards, so the resulting forest
-is bit-identical to the one built without the cache (see
-:mod:`repro.chase.segments` for the argument).
+spliced nodes are fed straight into the agenda through the forest's
+change-notification hooks (:meth:`repro.chase.forest.ChaseForest.add_listener`),
+so post-splice saturation only inspects the spliced frontier instead of
+re-scanning the forest; the resulting forest is bit-identical to the one
+built without the cache (see :mod:`repro.chase.segments` for the argument).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional, Sequence, Union
+from typing import Callable, Iterable, Mapping, Optional, Sequence, Union
 
 from ..exceptions import GroundingError, NotGuardedError
 from ..lang.atoms import Atom
 from ..lang.program import Database, NormalProgram
 from ..lang.rules import NormalRule
 from ..lang.substitution import Substitution, match
+from ..lang.terms import Constant
 from .forest import ChaseForest, ChaseNode
 from .segments import (
     CachedSegment,
@@ -43,7 +65,7 @@ from .segments import (
     canonical_rule_order,
     shared_segment_store,
 )
-from .types import shape_key
+from .types import context_part_key, shape_key
 
 __all__ = ["GuardedChaseEngine", "chase_forest"]
 
@@ -51,12 +73,17 @@ __all__ = ["GuardedChaseEngine", "chase_forest"]
 class _PreparedRule:
     """A Skolemised rule with its guard singled out for efficient matching."""
 
-    __slots__ = ("rule", "guard", "other_pos", "seq", "fully_bound")
+    __slots__ = ("rule", "guard", "other_pos", "other_indices", "seq", "fully_bound")
 
     def __init__(self, rule: NormalRule, *, require_guarded: bool = True, seq: int = 0):
         self.rule = rule
         self.guard = _find_guard(rule, require_guarded=require_guarded)
         self.other_pos = tuple(a for a in rule.body_pos if a is not self.guard)
+        #: positions of the non-guard atoms within body_pos: a ground instance's
+        #: side atoms can be read off its body without any substitution
+        self.other_indices = tuple(
+            i for i, a in enumerate(rule.body_pos) if a is not self.guard
+        )
         #: position of the rule in the engine's rule list (memo keys)
         self.seq = seq
         #: does the guard bind every rule variable?  Then a guard match fully
@@ -112,6 +139,18 @@ class GuardedChaseEngine:
         is created) when some rule's guard does not bind every rule variable
         (possible only with ``require_guarded=False``), because then a firing
         is no longer determined by the guard match alone.
+    saturation:
+        ``"agenda"`` (default) drains the incremental worklist described in
+        the module docstring; ``"scan"`` runs the historical breadth-first
+        re-scan rounds.  Both reach the identical least fixpoint — ``"scan"``
+        exists as the differential-testing reference and for the benchmark
+        baseline.
+    agenda_order:
+        Optional scheduling hook for the agenda (testing): a callable that,
+        given the current agenda length ``n``, returns the index (``0 ≤ i <
+        n``) of the entry to process next.  ``None`` (default) pops from the
+        end.  The saturated forest is the same under every ordering — the
+        property suite exercises random orderings to prove exactly that.
     """
 
     def __init__(
@@ -122,16 +161,23 @@ class GuardedChaseEngine:
         max_nodes: int = 1_000_000,
         require_guarded: bool = True,
         segment_cache: Union[SegmentStore, bool, None] = None,
+        saturation: str = "agenda",
+        agenda_order: Optional[Callable[[int], int]] = None,
     ):
+        if saturation not in ("agenda", "scan"):
+            raise ValueError(f"saturation must be 'agenda' or 'scan', got {saturation!r}")
         self.forest = ChaseForest()
         self.max_nodes = max_nodes
+        self.saturation = saturation
+        self.agenda_order = agenda_order
         self._rules: list[_PreparedRule] = []
         self._rules_by_guard_pred: dict[str, list[_PreparedRule]] = {}
 
+        fact_atoms: list[Atom] = []
         for rule in skolemized_program:
             if rule.is_fact():
                 if rule.is_ground():
-                    self._add_fact(rule.head)
+                    fact_atoms.append(rule.head)
                 continue
             prepared = _PreparedRule(
                 rule, require_guarded=require_guarded, seq=len(self._rules)
@@ -139,12 +185,78 @@ class GuardedChaseEngine:
             self._rules.append(prepared)
             self._rules_by_guard_pred.setdefault(prepared.guard.predicate, []).append(prepared)
 
+        # Predicates occurring in non-guard positive body atoms: only labels
+        # of these predicates can enable or disable a chase firing, so they
+        # are what segment-key contexts and splice watchers track.  (Computed
+        # before the forest listener is installed — the listener maintains the
+        # side-relevant label index from the first fact on.)
+        self._side_predicates: frozenset[str] = frozenset(
+            atom.predicate for p in self._rules for atom in p.other_pos
+        )
+        # Every constant a side atom instance can mention: constants written
+        # in the side-atom patterns themselves, plus constants written in rule
+        # *heads* — a head constant enters spliced labels without being
+        # inherited from the splice root's domain or being a fresh null, so
+        # side atoms over it would be invisible to a root-domain-only context.
+        # Folding these constants into every context (and into the watcher
+        # wake path) closes that hole.
+        self._side_constants: frozenset = frozenset(
+            arg
+            for p in self._rules
+            for atom in (p.rule.head, *p.other_pos)
+            for arg in atom.args
+            if isinstance(arg, Constant)
+        )
+        # Live index of side-relevant labels by argument term (plus the
+        # nullary ones); consulted by the per-node segment-key context.
+        self._side_labels_by_term: dict = {}
+        self._side_nullary: set[Atom] = set()
+        # Splice watchers: wake-once subscriptions that re-enqueue a certified
+        # spliced subtree when a new side-relevant label lands on its terms.
+        self._watches: dict[int, tuple[frozenset, list[int]]] = {}
+        self._watch_by_term: dict = {}
+        self._watch_counter = 0
+        # While True (inside _instantiate_segment), newly inserted nodes are
+        # *not* self-enqueued: the splice decides which placed nodes need
+        # processing (frontier, voided certificates) — that is the whole point
+        # of certified splicing.  Label indexing and waiter wake-ups still run.
+        self._suppress_agenda = False
+
+        # -- agenda state ------------------------------------------------------
+        # The worklist of node ids to (re)consider as guard hosts, with a
+        # membership set so a node is queued at most once at a time.
+        self._agenda: list[int] = []
+        self._in_agenda: set[int] = set()
+        # Nodes that reached the depth bound before they could host children;
+        # re-enqueued when the bound rises (iterative deepening).
+        self._deferred: list[int] = []
+        self._in_deferred: set[int] = set()
+        # Watched-atom waiters: ground side atom -> nodes whose pending rule
+        # firings are blocked on it becoming a label.  When the atom arrives,
+        # the nodes re-enter the agenda (and re-derive or re-watch).
+        self._atom_waiters: dict[Atom, set[int]] = {}
+        # Predicate-level subscriptions for rules whose guard does not bind
+        # every variable (require_guarded=False only): their side atoms are
+        # non-ground under the guard match, so any new label of the right
+        # predicate may complete a join.
+        self._pred_waiters: dict[str, set[int]] = {}
+        # Live predicate -> labels index used by the non-fully-bound join.
+        self._label_index: dict[str, list[Atom]] = {}
+        # False while a saturation pass is incomplete (in progress, cut short
+        # by max_rounds, or aborted by a GroundingError); expand() resumes an
+        # unsaturated pass before honouring new depth requests.
+        self._saturated = True
+        self.forest.add_listener(self._on_node_added)
+
+        for atom in fact_atoms:
+            self._add_fact(atom)
+
         # Decided (node_id, rule seq) pairs for fully-bound rules: the pair
         # either fired (its unique ground instance is in the forest) or its
-        # guard can never match the node's label.  Saturation rounds skip these
-        # without re-instantiating the rule, which makes the re-scan of an
-        # already-expanded forest (iterative deepening, post-splice quiescence
-        # checks) near-free.
+        # guard can never match the node's label.  Agenda re-processing (a
+        # node woken by a watched atom, or re-enqueued after a budget failure)
+        # and scan rounds both skip decided pairs without re-instantiating the
+        # rule, which keeps re-visits near-free.
         self._decided: set[tuple[int, int]] = set()
 
         for atom in database:
@@ -171,18 +283,21 @@ class GuardedChaseEngine:
         self._canonical_index: dict[NormalRule, int] = {}
         self._rules_by_structure: dict[tuple, list[_PreparedRule]] = {}
         # Memos keyed by immutable values: label shapes recur across nodes and
-        # (parent label, ground rule) pairs recur across re-recordings.
+        # (parent label, ground rule) pairs recur across re-recordings.  (Only
+        # the context-free *shape* part of a segment key is memoizable: the
+        # context part grows with the forest.)
         self._shape_memo: dict[Atom, tuple] = {}
         self._derivation_memo: dict[tuple[Atom, NormalRule], Optional[int]] = {}
-        # Shapes that were looked up and missed: recording is demand-driven —
-        # only shapes something actually asked for (plus the current frontier,
-        # which the next deepening step will ask for) are worth extracting.
-        self._missed_shapes: set[tuple] = set()
-        # Shapes that were looked up and hit: checked after saturation for
-        # staleness (the rounds may have derived more under the spliced root
-        # than the stored segment knows, e.g. when the segment was recorded
-        # from a database lacking some side atoms).
-        self._hit_shapes: set[tuple] = set()
+        # Segment keys that were looked up and missed: recording is
+        # demand-driven — only keys something actually asked for (plus the
+        # current frontier, which the next deepening step will ask for) are
+        # worth extracting.
+        self._missed_keys: set[tuple] = set()
+        # Segment keys that were looked up and hit: checked after saturation
+        # for staleness (saturation may have derived more under the spliced
+        # root than the stored segment knows, e.g. when the segment was
+        # recorded from a database lacking some side atoms).
+        self._hit_keys: set[tuple] = set()
         # Note: an explicit store must not go through truthiness — an empty
         # SegmentStore has len() == 0 and would read as "disabled".
         if segment_cache is not None and segment_cache is not False:
@@ -240,45 +355,267 @@ class GuardedChaseEngine:
         within the depth bound (unless *max_rounds* cuts it short).
 
         With a segment cache attached, memoized subtrees are spliced in first
-        (see :meth:`_splice_from_cache`); the saturation rounds then add
-        whatever the cache could not provide and certify quiescence, so the
-        final forest is identical either way.  After saturation, node levels
-        are restored to their canonical derivation stages
+        (see :meth:`_splice_from_cache`); the agenda (or the scan rounds) then
+        adds whatever the cache could not provide and certifies quiescence, so
+        the final forest is identical either way.  After saturation, node
+        levels are restored to their canonical derivation stages
         (:meth:`ChaseForest.recompute_levels`) and newly saturated subtrees
         are recorded back into the store.  Splicing and recording are skipped
         under a *max_rounds* cutoff: an unsaturated forest must not populate
         the store, and a partial expansion has no quiescence certificate.
+        (*max_rounds* counts breadth-first scan rounds, so it always runs the
+        scan path regardless of the engine's saturation mode.)
+
+        An unfinished saturation pass — a previous call raised
+        :class:`GroundingError`, or was cut short by *max_rounds* — is
+        resumed first, even when *max_depth* is below the committed depth
+        bound: the forest must never be observed unsaturated within its
+        bound.  A resumed pass re-raises if the node budget is still too
+        small, and completes normally after :attr:`max_nodes` is raised.
 
         Raises
         ------
         GroundingError
-            If the node budget is exceeded.
+            If the node budget is exceeded.  The exception is resumable (see
+            above): the agenda keeps the pending work.
         """
-        if max_depth < self.depth_bound:
-            # the forest is already expanded beyond this bound; nothing to do
+        if max_depth < self.depth_bound and self._saturated:
+            # the forest is already expanded and saturated beyond this bound
             return False
-        self.depth_bound = max_depth
+        if max_depth > self.depth_bound:
+            self.depth_bound = max_depth
+            self._wake_deferred()
+        max_depth = self.depth_bound
         use_cache = self._segment_store is not None and max_rounds is None
-        added_any = False
+        size_before = len(self.forest)
+        self._saturated = False
         if use_cache:
-            added_any = self._splice_from_cache(max_depth)
-        changed = True
-        rounds_here = 0
-        while changed:
-            if max_rounds is not None and rounds_here >= max_rounds:
-                break
-            changed = self._expand_one_round(max_depth)
-            added_any = added_any or changed
-            rounds_here += 1
-            self.rounds += 1
+            self._splice_from_cache(max_depth)
+        if self.saturation == "scan" or max_rounds is not None:
+            changed = True
+            rounds_here = 0
+            while changed:
+                if max_rounds is not None and rounds_here >= max_rounds:
+                    break
+                changed = self._expand_one_round_scan(max_depth)
+                rounds_here += 1
+                self.rounds += 1
+            self._saturated = not changed
+        else:
+            self._drain_agenda()
+            self._saturated = True
+        added_any = len(self.forest) > size_before
         if added_any:
             self.forest.recompute_levels()
-        if use_cache:
+        if use_cache and self._saturated:
             self._record_segments(max_depth)
         return added_any
 
-    def _expand_one_round(self, max_depth: int) -> bool:
-        """One breadth-first round: fire every applicable (node, ground rule) pair."""
+    # -- agenda-driven saturation -------------------------------------------------
+
+    def _on_node_added(self, node: ChaseNode, is_new_label: bool) -> None:
+        """Forest change hook: feed insertions into the agenda and wake waiters.
+
+        Every new node enters the agenda (it may host firings); a node whose
+        label is new to the forest additionally extends the live predicate
+        index and wakes the waiters watching that atom (fully-bound rules) or
+        its predicate (non-fully-bound rules).  Splices, facts added at
+        construction and ordinary firings all flow through here — the agenda
+        never needs a forest re-scan to find new work.  A pure scan-mode
+        engine skips the agenda bookkeeping entirely (its rounds re-visit
+        every node anyway, and an agenda nobody drains would just leak), so
+        the retained baseline stays the historical code path.
+        """
+        node_id = node.node_id
+        if (
+            self.saturation == "agenda"
+            and not self._suppress_agenda
+            and node_id not in self._in_agenda
+        ):
+            self._in_agenda.add(node_id)
+            self._agenda.append(node_id)
+        if is_new_label:
+            label = node.label
+            self._label_index.setdefault(label.predicate, []).append(label)
+            waiters = self._atom_waiters.pop(label, None)
+            if waiters:
+                self._enqueue_all(waiters)
+            subscribers = self._pred_waiters.get(label.predicate)
+            if subscribers:
+                self._enqueue_all(subscribers)
+            if label.predicate in self._side_predicates:
+                if label.args:
+                    for term in set(label.args):
+                        self._side_labels_by_term.setdefault(term, []).append(label)
+                else:
+                    self._side_nullary.add(label)
+                if self._watches:
+                    self._fire_watches(label)
+
+    def _fire_watches(self, label: Atom) -> None:
+        """Wake certified spliced subtrees a new side-relevant label may affect.
+
+        A subtree is woken when the label shares a term with it (or has no
+        discriminating terms at all: nullary labels and labels purely over
+        rule constants touch every domain).  Waking conservatively re-enqueues
+        every node of the subtree — processing is idempotent, and the precise
+        per-atom waiters take over from there — and the watch is dropped
+        (wake-once).
+        """
+        if not label.args or all(arg in self._side_constants for arg in label.args):
+            woken = list(self._watches.keys())
+        else:
+            woken_set: set[int] = set()
+            for term in set(label.args):
+                woken_set.update(self._watch_by_term.get(term, ()))
+            woken = list(woken_set)
+        for watch_id in woken:
+            terms, node_ids = self._watches.pop(watch_id)
+            for term in terms:
+                ids = self._watch_by_term.get(term)
+                if ids is not None:
+                    ids.discard(watch_id)
+                    if not ids:
+                        del self._watch_by_term[term]
+            self._enqueue_all(node_ids)
+
+    def _enqueue_all(self, node_ids: Iterable[int]) -> None:
+        """Re-enqueue a batch of nodes (deduplicated against the agenda).
+
+        A no-op on pure scan-mode engines: their rounds re-visit every node
+        anyway, and an agenda nobody drains would only accumulate.
+        """
+        if self.saturation == "scan":
+            return
+        agenda, in_agenda = self._agenda, self._in_agenda
+        for node_id in node_ids:
+            if node_id not in in_agenda:
+                in_agenda.add(node_id)
+                agenda.append(node_id)
+
+    def _wake_deferred(self) -> None:
+        """Move frontier nodes deferred at the old depth bound back to the agenda."""
+        if not self._deferred:
+            return
+        self._enqueue_all(self._deferred)
+        self._deferred.clear()
+        self._in_deferred.clear()
+
+    def _drain_agenda(self) -> None:
+        """Process agenda entries until quiescence (the least fixpoint).
+
+        The invariant on entry to every iteration: each applicable-but-unfired
+        ``(node, rule)`` pair either has its node in the agenda, or is blocked
+        on a watched atom (``_atom_waiters``/``_pred_waiters``) that is not a
+        label yet, or its node sits at the depth bound (``_deferred``).  An
+        empty agenda therefore certifies quiescence: the remaining pairs
+        cannot fire until a new label arrives (impossible without firings) or
+        the bound rises (handled by :meth:`expand`).
+        """
+        agenda, in_agenda = self._agenda, self._in_agenda
+        pick = self.agenda_order
+        while agenda:
+            if pick is None:
+                node_id = agenda.pop()
+            else:
+                node_id = agenda.pop(pick(len(agenda)) % len(agenda))
+            in_agenda.discard(node_id)
+            self._process_node(node_id)
+
+    def _process_node(self, node_id: int) -> None:
+        """Fire every applicable (node, ground rule) pair at one node.
+
+        Pairs whose side atoms are missing register a waiter on the first
+        missing atom and retire until it arrives; decided pairs and already
+        applied ground rules are skipped, so re-processing a woken node only
+        pays for its genuinely undecided rules.
+        """
+        forest = self.forest
+        node = forest.node(node_id)
+        if node.depth >= self.depth_bound:
+            if node_id not in self._in_deferred:
+                self._in_deferred.add(node_id)
+                self._deferred.append(node_id)
+            return
+        label = node.label
+        decided = self._decided
+        labels = forest.labels_live()
+        for prepared in self._rules_by_guard_pred.get(label.predicate, ()):
+            seq = prepared.seq
+            if prepared.fully_bound and (node_id, seq) in decided:
+                continue
+            guard_match = match(prepared.guard, label)
+            if guard_match is None:
+                if prepared.fully_bound:
+                    # labels never change: this pair can never fire
+                    decided.add((node_id, seq))
+                continue
+            if prepared.fully_bound:
+                missing = None
+                for atom in prepared.other_pos:
+                    grounded = guard_match.apply_atom(atom)
+                    if grounded not in labels:
+                        missing = grounded
+                        break
+                if missing is not None:
+                    self._atom_waiters.setdefault(missing, set()).add(node_id)
+                    continue
+                ground_rule = _instantiate(prepared.rule, guard_match)
+                if forest.was_applied(node_id, ground_rule):
+                    decided.add((node_id, seq))
+                    continue
+                self._budget_guard((node_id,))
+                forest.add_child(node_id, ground_rule.head, ground_rule, node.level + 1)
+                decided.add((node_id, seq))
+            else:
+                # Experimentation mode (require_guarded=False): side atoms may
+                # stay non-ground under the guard match, so joins run against
+                # the live label index and the node subscribes to the side
+                # predicates — any later label of those predicates may extend
+                # the join.  A side atom that is *ground* under the guard
+                # match but not a label yet blocks every join outright, so it
+                # gets a precise watched-atom waiter instead (exactly as on
+                # the fully-bound path) — without it the node would never be
+                # rewoken when the atom arrives.
+                for atom in prepared.other_pos:
+                    grounded = guard_match.apply_atom(atom)
+                    if not grounded.is_ground():
+                        self._pred_waiters.setdefault(atom.predicate, set()).add(node_id)
+                    elif grounded not in labels:
+                        self._atom_waiters.setdefault(grounded, set()).add(node_id)
+                for full_match in _match_remaining(
+                    prepared.other_pos, self._label_index, labels, guard_match
+                ):
+                    ground_rule = _instantiate(prepared.rule, full_match)
+                    if forest.was_applied(node_id, ground_rule):
+                        continue
+                    self._budget_guard((node_id,))
+                    forest.add_child(node_id, ground_rule.head, ground_rule, node.level + 1)
+
+    def _budget_guard(self, requeue: Iterable[int]) -> None:
+        """Raise (resumably) if adding one more node would exceed the budget.
+
+        *requeue* — the node being processed, or the nodes a splice has placed
+        so far — re-enters the agenda first, so the work that was about to
+        happen is retried (not lost) when a later :meth:`expand` call resumes
+        with a larger :attr:`max_nodes`.
+        """
+        if len(self.forest) + 1 > self.max_nodes:
+            self._enqueue_all(requeue)
+            raise GroundingError(
+                f"chase forest would exceed the node budget of {self.max_nodes}; "
+                "lower the depth bound or raise max_nodes"
+            )
+
+    # -- the retained breadth-first reference ------------------------------------
+
+    def _expand_one_round_scan(self, max_depth: int) -> bool:
+        """One breadth-first round: fire every applicable (node, ground rule) pair.
+
+        This is the historical round-based saturation step, retained verbatim
+        as the ``saturation="scan"`` reference: the differential suites assert
+        that agenda-driven saturation reaches the bit-identical least fixpoint.
+        """
         labels = self.forest.labels()
         label_index = _index_by_predicate(labels)
         level = self.rounds + 1
@@ -329,12 +666,40 @@ class GuardedChaseEngine:
     # -- segment cache: splice-in -----------------------------------------------
 
     def _shape(self, label: Atom) -> tuple:
-        """Memoized canonical shape of a node label."""
+        """Memoized canonical shape of a node label (the context-free key part)."""
         shape = self._shape_memo.get(label)
         if shape is None:
             shape = shape_key(label)
             self._shape_memo[label] = shape
         return shape
+
+    def _context_atoms(self, label: Atom) -> list[Atom]:
+        """The side-relevant labels over ``dom(label)`` (plus rule constants).
+
+        These are exactly the forest atoms that can serve as a side atom of a
+        fully-bound rule fired at a node with this label or below it (side
+        atoms of fully-bound rules are ground instances over the guard's
+        terms, plus any constants written in the rule itself).  They form the
+        context part of the segment key: two nodes agreeing on shape *and*
+        context have identical firing environments for every inherited term.
+        """
+        if not self._side_predicates:
+            return []
+        terms = set(label.args) | self._side_constants
+        found = set(self._side_nullary)
+        by_term = self._side_labels_by_term
+        for term in terms:
+            for atom in by_term.get(term, ()):
+                if atom not in found and all(arg in terms for arg in atom.args):
+                    found.add(atom)
+        return list(found)
+
+    def _segment_key(self, label: Atom) -> tuple:
+        """The full segment key of a label: canonical shape plus context part."""
+        context = self._context_atoms(label)
+        if not context:
+            return (self._shape(label), ())
+        return (self._shape(label), context_part_key(label, context))
 
     def _splice_from_cache(self, max_depth: int) -> bool:
         """Instantiate cached segments under every unexpanded matching node.
@@ -346,26 +711,31 @@ class GuardedChaseEngine:
         """
         store = self._segment_store
         forest = self.forest
+        hostable = self._rules_by_guard_pred
         added = False
+        # Nodes whose label predicate guards no rule can never have children,
+        # so neither looking them up nor recording them can ever pay off.
         worklist = [
             node.node_id
             for node in forest.nodes()
-            if not node.children and node.depth < max_depth
+            if not node.children
+            and node.depth < max_depth
+            and node.label.predicate in hostable
         ]
         while worklist:
             node_id = worklist.pop()
             node = forest.node(node_id)
             if node.children or node.depth >= max_depth:
                 continue
-            shape = self._shape(node.label)
-            segment = store.lookup(shape)
+            key = self._segment_key(node.label)
+            segment = store.lookup(key)
             if segment is None:
                 self.cache_stats["misses"] += 1
-                self._missed_shapes.add(shape)
+                self._missed_keys.add(key)
                 continue
             self.cache_stats["hits"] += 1
-            self._hit_shapes.add(shape)
-            created = self._instantiate_segment(node_id, segment, max_depth)
+            self._hit_keys.add(key)
+            created = self._instantiate_segment(node_id, key, segment, max_depth)
             if not created:
                 continue
             added = True
@@ -373,30 +743,75 @@ class GuardedChaseEngine:
             self.cache_stats["nodes_spliced"] += len(created)
             for child_id in created:
                 child = forest.node(child_id)
-                if not child.children and child.depth < max_depth:
+                if (
+                    not child.children
+                    and child.depth < max_depth
+                    and child.label.predicate in hostable
+                ):
                     worklist.append(child_id)
         return added
 
     def _instantiate_segment(
-        self, root_id: int, segment: CachedSegment, max_depth: int
+        self, root_id: int, key: tuple, segment: CachedSegment, max_depth: int
     ) -> list[int]:
         """Replay a cached segment under *root_id*, renaming nulls by substitution.
 
         Every derivation is re-validated before being placed: the rule's guard
         is re-matched against the (new) parent label, and the transported side
         atoms must already label the forest — so each placed child is a firing
-        the ordinary rounds would also perform, only without the join.
-        Derivations whose side atoms are still missing are retried (a cousin
-        placed later in the same splice may provide them); those whose parents
-        were dropped, whose guard no longer matches (possible when a shape
-        collision merged nulls), or that would exceed the depth bound are
-        dropped — the saturation rounds recover anything genuinely derivable.
-        Returns the ids of the newly created nodes.
+        the ordinary saturation would also perform, only without the rule
+        matching.  Derivations whose side atoms are still missing are retried
+        (a cousin placed later in the same splice may provide them); those
+        whose parents were dropped, whose guard no longer matches (possible
+        when a key collision merged nulls), or that would exceed the depth
+        bound are dropped — saturation recovers anything genuinely derivable.
+
+        **Certified placement.**  Placed nodes do *not* individually re-enter
+        the agenda.  The segment key matched shape *and* side-atom context, so
+        the replay is complete for every interior node — except where one of
+        the certificate's premises fails, and exactly those nodes are
+        enqueued for ordinary processing:
+
+        * nodes at the segment's recorded frontier (``relative depth ==
+          segment.relative_depth``) or at the forest's depth bound — nothing
+          below them was recorded / may be placed;
+        * parents of dropped or still-pending derivations — their replay is
+          incomplete;
+        * *every* placed node, when some placed label already existed in the
+          forest (a twin subtree may have derived atoms over this subtree's
+          nulls that the recording never saw), when the segment referenced a
+          rule this engine does not know, or when a ``was_applied`` collision
+          mapped a local node onto a pre-existing child.
+
+        Late arrivals are covered separately: a wake-once watcher over the
+        subtree's terms re-enqueues all placed nodes if a new side-relevant
+        label lands on them (see :meth:`_fire_watches`).  Returns the ids of
+        the newly created nodes.
+
+        **Memoized replays.**  Replaying a segment under a given root label is
+        deterministic (every substitution is fixed by the labels), so a fully
+        placed clean replay is recorded back into the store as ground
+        derivations keyed by ``(segment key, root label)``; the next engine
+        over the same inputs places the subtree through
+        :meth:`_replay_memoised` — side-atom set lookups and node insertion
+        only, no substitution machinery.
         """
         forest = self.forest
+        root_label = forest.node(root_id).label
+        memo = self._segment_store.replay_lookup(key, root_label)
+        if memo is not None:
+            created = self._replay_memoised(root_id, memo, segment, max_depth)
+            if created is not None:
+                return created
         placed: dict[int, int] = {0: root_id}
+        local_depth: dict[int, int] = {0: 0}
         created: list[int] = []
+        memo_entries: list[tuple] = []
         rules = self._canonical_rules
+        #: local indices whose own children-replay is incomplete
+        flagged: set[int] = set()
+        #: certificate void: every placed node must be processed normally
+        void = any(rule_index >= len(rules) for _, rule_index in segment.entries)
         # The last element is the forest size at the entry's last failed
         # side-atom check: labels only grow, so while the forest has not
         # grown since, re-validating the same ground atoms cannot succeed
@@ -406,124 +821,259 @@ class GuardedChaseEngine:
             for index, (parent_local, rule_index) in enumerate(segment.entries)
             if rule_index < len(rules)
         ]
-        progress = True
-        while pending and progress:
-            progress = False
-            retry: list[tuple[int, int, int, int]] = []
-            dropped: set[int] = set()
-            for local_index, parent_local, rule_index, checked_at in pending:
+        self._suppress_agenda = True
+        try:
+            progress = True
+            while pending and progress:
+                progress = False
+                retry: list[tuple[int, int, int, int]] = []
+                dropped: set[int] = set()
+                for local_index, parent_local, rule_index, checked_at in pending:
+                    parent_id = placed.get(parent_local)
+                    if parent_id is None:
+                        if parent_local in dropped:
+                            dropped.add(local_index)
+                        else:
+                            retry.append(
+                                (local_index, parent_local, rule_index, checked_at)
+                            )
+                        continue
+                    if checked_at == len(forest):
+                        retry.append((local_index, parent_local, rule_index, checked_at))
+                        continue
+                    parent = forest.node(parent_id)
+                    if parent.depth >= max_depth:
+                        dropped.add(local_index)
+                        continue
+                    prepared = rules[rule_index]
+                    subst = match(prepared.guard, parent.label)
+                    if subst is None:
+                        dropped.add(local_index)
+                        flagged.add(parent_local)
+                        continue
+                    side_atoms = tuple(
+                        subst.apply_atom(atom) for atom in prepared.other_pos
+                    )
+                    if any(not forest.has_label(atom) for atom in side_atoms):
+                        retry.append((local_index, parent_local, rule_index, len(forest)))
+                        continue
+                    ground_rule = _instantiate(prepared.rule, subst)
+                    if forest.was_applied(parent_id, ground_rule):
+                        self._decided.add((parent_id, prepared.seq))
+                        for sibling in forest.children(parent_id):
+                            if sibling.edge_rule == ground_rule:
+                                placed[local_index] = sibling.node_id
+                                local_depth[local_index] = local_depth[parent_local] + 1
+                                break
+                        # a pre-existing child is outside this replay's
+                        # certificate — treat the whole splice conservatively
+                        void = True
+                        progress = True
+                        continue
+                    # resumable: on failure the partially placed subtree is
+                    # re-enqueued for ordinary saturation under a larger budget
+                    self._budget_guard(created)
+                    if not void and forest.has_label(ground_rule.head):
+                        # a twin subtree may hold atoms over this label's
+                        # nulls that the recording never saw
+                        void = True
+                    child = forest.add_child(
+                        parent_id, ground_rule.head, ground_rule, parent.level + 1
+                    )
+                    self._decided.add((parent_id, prepared.seq))
+                    placed[local_index] = child.node_id
+                    local_depth[local_index] = local_depth[parent_local] + 1
+                    created.append(child.node_id)
+                    memo_entries.append(
+                        (local_index, parent_local, rule_index, ground_rule, side_atoms)
+                    )
+                    progress = True
+                pending = retry
+        finally:
+            self._suppress_agenda = False
+        if pending:
+            # still-blocked derivations: their parents' replay is incomplete
+            flagged.update(parent_local for _, parent_local, _, _ in pending)
+        if created:
+            if (
+                not void
+                and not flagged
+                and not pending
+                and len(created) == len(segment.entries)
+            ):
+                # clean, complete replay: memoize the ground derivations
+                self._segment_store.replay_record(key, root_label, tuple(memo_entries))
+            self._finish_splice(segment, placed, local_depth, created, flagged, void)
+        return created
+
+    def _replay_memoised(
+        self, root_id: int, memo: tuple, segment: CachedSegment, max_depth: int
+    ) -> Optional[list[int]]:
+        """Place a memoized ground replay: set lookups and insertions only.
+
+        The memo's derivations are exact for this (segment key, root label)
+        pair, so no substitution runs; each placement still re-checks its side
+        atoms, the depth bound and the node budget.  Any surprise — a missing
+        side atom, an already applied derivation — aborts to ``None`` after
+        enqueueing the nodes placed so far, and the caller falls back to the
+        ordinary validated replay.  Certificate handling (frontier and
+        depth-bound enqueueing, twin-label voiding, watcher registration) is
+        the same as for a validated replay.
+        """
+        forest = self.forest
+        placed: dict[int, int] = {0: root_id}
+        local_depth: dict[int, int] = {0: 0}
+        created: list[int] = []
+        rules = self._canonical_rules
+        void = False
+        self._suppress_agenda = True
+        try:
+            for local_index, parent_local, rule_index, ground_rule, side_atoms in memo:
+                if rule_index >= len(rules):  # pragma: no cover - defensive
+                    self._enqueue_all(created)
+                    return None
                 parent_id = placed.get(parent_local)
                 if parent_id is None:
-                    if parent_local in dropped:
-                        dropped.add(local_index)
-                    else:
-                        retry.append((local_index, parent_local, rule_index, checked_at))
-                    continue
-                if checked_at == len(forest):
-                    retry.append((local_index, parent_local, rule_index, checked_at))
-                    continue
+                    continue  # parent was cut by the depth bound
                 parent = forest.node(parent_id)
                 if parent.depth >= max_depth:
-                    dropped.add(local_index)
                     continue
-                prepared = rules[rule_index]
-                subst = match(prepared.guard, parent.label)
-                if subst is None:
-                    dropped.add(local_index)
-                    continue
-                if any(
-                    not forest.has_label(subst.apply_atom(atom))
-                    for atom in prepared.other_pos
-                ):
-                    retry.append((local_index, parent_local, rule_index, len(forest)))
-                    continue
-                ground_rule = _instantiate(prepared.rule, subst)
+                if any(not forest.has_label(atom) for atom in side_atoms):
+                    self._enqueue_all(created)
+                    return None
                 if forest.was_applied(parent_id, ground_rule):
-                    self._decided.add((parent_id, prepared.seq))
-                    for sibling in forest.children(parent_id):
-                        if sibling.edge_rule == ground_rule:
-                            placed[local_index] = sibling.node_id
-                            break
-                    progress = True
-                    continue
-                if len(forest) + 1 > self.max_nodes:
-                    raise GroundingError(
-                        f"chase forest would exceed the node budget of {self.max_nodes}; "
-                        "lower the depth bound or raise max_nodes"
-                    )
+                    self._enqueue_all(created)
+                    return None
+                self._budget_guard(created)
+                if not void and forest.has_label(ground_rule.head):
+                    void = True
                 child = forest.add_child(
                     parent_id, ground_rule.head, ground_rule, parent.level + 1
                 )
-                self._decided.add((parent_id, prepared.seq))
+                self._decided.add((parent_id, rules[rule_index].seq))
                 placed[local_index] = child.node_id
+                local_depth[local_index] = local_depth[parent_local] + 1
                 created.append(child.node_id)
-                progress = True
-            pending = retry
+        finally:
+            self._suppress_agenda = False
+        if created:
+            self._finish_splice(segment, placed, local_depth, created, set(), void)
         return created
+
+    def _finish_splice(
+        self,
+        segment: CachedSegment,
+        placed: Mapping[int, int],
+        local_depth: Mapping[int, int],
+        created: Sequence[int],
+        flagged: set[int],
+        void: bool,
+    ) -> None:
+        """Enqueue the placed nodes the splice certificate does not cover."""
+        forest = self.forest
+        if void:
+            self._enqueue_all(created)
+            return
+        created_set = set(created)
+        to_enqueue: list[int] = []
+        for local_index, node_id in placed.items():
+            if node_id not in created_set:
+                continue
+            if (
+                local_depth[local_index] >= segment.relative_depth
+                or forest.node(node_id).depth >= self.depth_bound
+                or local_index in flagged
+            ):
+                to_enqueue.append(node_id)
+        self._enqueue_all(to_enqueue)
+        if self._side_predicates:
+            terms: set = set()
+            for node_id in created:
+                terms.update(forest.node(node_id).label.args)
+            if terms:
+                watch_id = self._watch_counter
+                self._watch_counter += 1
+                self._watches[watch_id] = (frozenset(terms), list(created))
+                for term in terms:
+                    self._watch_by_term.setdefault(term, set()).add(watch_id)
 
     # -- segment cache: recording -----------------------------------------------
 
     def _record_segments(self, max_depth: int) -> None:
-        """Record the saturated subtree of the shallowest node of a shape.
+        """Record the saturated subtree of the shallowest node of a segment key.
 
-        Recording is *demand-driven*: a shape is extracted only when something
+        Recording is *demand-driven*: a key is extracted only when something
         asked the store for it during this expansion and missed, or when it
-        labels a current frontier node — the shapes the next deepening step
-        will ask for.  Shapes nothing demanded are never extracted (a splice
+        belongs to a current frontier node — the keys the next deepening step
+        will ask for.  Keys nothing demanded are never extracted (a splice
         that finds only a shallow segment simply chains: the spliced frontier
-        re-enters the cache), so shape-diverse forests whose types never
-        repeat cost one shape scan here, not one subtree extraction per node,
-        and nothing is speculatively re-recorded on later expansions.  Within
-        the demanded shapes, the shallowest node is recorded (it has the most
+        re-enters the cache), so type-diverse forests whose keys never repeat
+        cost one key scan here, not one subtree extraction per node, and
+        nothing is speculatively re-recorded on later expansions.  Within the
+        demanded keys, the shallowest node is recorded (it has the most
         saturated levels below it) and only when its relative depth improves
         on the stored segment.
+
+        Keys are computed against the *saturated* forest, which is also the
+        state every later lookup sees first (splices run before new
+        derivations): a key whose side-atom context only materialises during
+        saturation misses on the lookup side and never matches a recording —
+        the cache simply stays cold for that type, which is the sound
+        direction of the trade.
         """
         store = self._segment_store
+        hostable = self._rules_by_guard_pred
         shallowest: dict[tuple, ChaseNode] = {}
-        frontier_shapes: set[tuple] = set()
+        frontier_keys: set[tuple] = set()
         for node in self.forest.nodes():
-            shape = self._shape(node.label)
+            if node.label.predicate not in hostable:
+                continue  # can never have children: not recordable, never asked
+            key = self._segment_key(node.label)
             if node.depth >= max_depth:
                 if node.depth == max_depth:
-                    frontier_shapes.add(shape)
+                    frontier_keys.add(key)
                 continue
-            best = shallowest.get(shape)
+            best = shallowest.get(key)
             if best is None or node.depth < best.depth:
-                shallowest[shape] = node
-        demanded = self._missed_shapes | frontier_shapes
-        # A *hit* shape is re-demanded when its stored segment went stale:
-        # the saturated subtree now holds more nodes than the segment has
+                shallowest[key] = node
+        demanded = self._missed_keys | frontier_keys
+        # A *hit* key is re-demanded when its stored segment went stale: the
+        # saturated subtree now holds more nodes than the segment has
         # derivations (the segment was recorded from a forest where some side
         # atoms were absent).  Without this, one hit on a stale segment would
         # suppress re-recording forever and repeated workloads would silently
         # re-derive the difference on every run.
-        for shape in self._hit_shapes - demanded:
-            node = shallowest.get(shape)
-            segment = store.peek(shape)
+        for key in self._hit_keys - demanded:
+            node = shallowest.get(key)
+            segment = store.peek(key)
             if (
                 node is not None
                 and segment is not None
                 and self._subtree_exceeds(node.node_id, len(segment))
             ):
-                demanded.add(shape)
-        self._missed_shapes = set()
-        self._hit_shapes = set()
-        for shape in demanded:
-            node = shallowest.get(shape)
+                demanded.add(key)
+        self._missed_keys = set()
+        self._hit_keys = set()
+        for key in demanded:
+            node = shallowest.get(key)
             if node is None:
                 continue
             relative_depth = max_depth - node.depth
-            existing = store.peek(shape)
+            existing = store.peek(key)
             if existing is not None and existing.relative_depth >= relative_depth:
                 # equal-depth staleness upgrades still need extraction; pure
                 # depth upgrades are gated the cheap way
                 if not self._subtree_exceeds(node.node_id, len(existing)):
                     continue
-            entries = self._extract_segment(node)
-            if entries is None:
+            extracted = self._extract_segment(node)
+            if extracted is None:
                 continue
-            if store.record(shape, relative_depth, entries):
+            entries, replay = extracted
+            if store.record(key, relative_depth, entries):
                 self.cache_stats["segments_recorded"] += 1
+                # seed the replay memo too: the very next engine over the same
+                # database can place this subtree without any substitution
+                store.replay_record(key, node.label, replay)
 
     def _subtree_exceeds(self, node_id: int, limit: int) -> bool:
         """Does the subtree below *node_id* have more than *limit* descendants?
@@ -541,19 +1091,25 @@ class GuardedChaseEngine:
             stack.extend(current.children)
         return False
 
-    def _extract_segment(self, root: ChaseNode) -> Optional[tuple[tuple[int, int], ...]]:
+    def _extract_segment(
+        self, root: ChaseNode
+    ) -> Optional[tuple[tuple[tuple[int, int], ...], tuple]]:
         """The subtree below *root* as position-independent derivation entries.
 
         Preorder guarantees parents precede children, so entry ``i`` (local
-        node ``i + 1``) always refers to an earlier local index.  Returns
-        ``None`` when some edge cannot be attributed to a canonical rule
-        (defensive; every engine-built edge is attributable).
+        node ``i + 1``) always refers to an earlier local index.  Returns the
+        pair ``(entries, replay)`` — the abstract derivations for the segment
+        plus their fully ground form for the replay memo (the subtree's edge
+        rules *are* the ground derivations, so the memo costs no substitution
+        work) — or ``None`` when some edge cannot be attributed to a canonical
+        rule (defensive; every engine-built edge is attributable).
         """
         subtree = self.forest.subtree_nodes(root.node_id)
         if len(subtree) - 1 > self._segment_store.max_segment_nodes:
             return None
         local: dict[int, int] = {root.node_id: 0}
         entries: list[tuple[int, int]] = []
+        replay: list[tuple] = []
         for node in subtree[1:]:
             parent_local = local.get(node.parent)
             if parent_local is None:  # pragma: no cover - preorder invariant
@@ -565,7 +1121,14 @@ class GuardedChaseEngine:
                 return None
             local[node.node_id] = len(local)
             entries.append((parent_local, rule_index))
-        return tuple(entries)
+            side_atoms = tuple(
+                node.edge_rule.body_pos[i]
+                for i in self._canonical_rules[rule_index].other_indices
+            )
+            replay.append(
+                (len(local) - 1, parent_local, rule_index, node.edge_rule, side_atoms)
+            )
+        return tuple(entries), tuple(replay)
 
     def _rule_index_of(self, parent_label: Atom, edge_rule: NormalRule) -> Optional[int]:
         """The canonical rule whose guard match at *parent_label* fires *edge_rule*."""
@@ -664,15 +1227,22 @@ def chase_forest(
     *,
     max_nodes: int = 1_000_000,
     segment_cache: Union[SegmentStore, bool, None] = None,
+    saturation: str = "agenda",
 ) -> ChaseForest:
     """Convenience wrapper: build and expand a guarded chase forest in one call.
 
     Pass ``True`` (or an explicit :class:`~repro.chase.segments.SegmentStore`)
     to splice memoized subtrees recorded by earlier forests over the same
-    rules; the result is identical either way.
+    rules; the result is identical either way.  ``saturation`` selects the
+    agenda-driven loop (default) or the retained breadth-first scan — the
+    forests are bit-identical too.
     """
     engine = GuardedChaseEngine(
-        skolemized_program, database, max_nodes=max_nodes, segment_cache=segment_cache
+        skolemized_program,
+        database,
+        max_nodes=max_nodes,
+        segment_cache=segment_cache,
+        saturation=saturation,
     )
     engine.expand(max_depth)
     return engine.forest

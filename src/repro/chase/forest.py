@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from ..lang.atoms import Atom
 from ..lang.rules import NormalRule
@@ -88,6 +88,28 @@ class ChaseForest:
         self._labels: set[Atom] = set()
         self._applied: set[tuple[int, NormalRule]] = set()
         self._negative_atoms: set[Atom] = set()
+        # Change-notification hooks (see add_listener): called after a node is
+        # fully indexed, so listeners observe a consistent forest.
+        self._listeners: list[Callable[[ChaseNode, bool], None]] = []
+        # Number of nodes at the last recompute_levels pass: the forest is
+        # append-only, so levels are canonical iff nothing was added since.
+        self._canonical_upto = 0
+
+    # -- change notification -----------------------------------------------------
+
+    def add_listener(self, listener: Callable[["ChaseNode", bool], None]) -> None:
+        """Register a callback fired on every node insertion.
+
+        The callback receives ``(node, is_new_label)`` where ``is_new_label``
+        tells whether the node's label occurs in the forest for the first
+        time.  It runs *after* the node is indexed, so the forest is
+        consistent when observed from inside the callback.  This is how the
+        agenda-based :class:`repro.chase.engine.GuardedChaseEngine` keeps its
+        worklist and side-atom waiters in sync with insertions it did not
+        perform itself (segment splices, facts added at construction) without
+        re-scanning the forest.
+        """
+        self._listeners.append(listener)
 
     # -- construction (used by the engine) -------------------------------------
 
@@ -96,7 +118,9 @@ class ChaseForest:
         node = ChaseNode(node_id=len(self._nodes), label=label)
         self._nodes.append(node)
         self._roots.append(node.node_id)
-        self._index(node)
+        is_new_label = self._index(node)
+        for listener in self._listeners:
+            listener(node, is_new_label)
         return node
 
     def add_child(
@@ -120,13 +144,18 @@ class ChaseForest:
         parent.children.append(node.node_id)
         self._applied.add((parent_id, edge_rule))
         self._negative_atoms.update(edge_rule.body_neg)
-        self._index(node)
+        is_new_label = self._index(node)
+        for listener in self._listeners:
+            listener(node, is_new_label)
         return node
 
-    def _index(self, node: ChaseNode) -> None:
-        """Maintain the label indexes for a newly added node."""
+    def _index(self, node: ChaseNode) -> bool:
+        """Maintain the label indexes; ``True`` iff the label is new to the forest."""
         self._by_label.setdefault(node.label, []).append(node.node_id)
-        self._labels.add(node.label)
+        is_new = node.label not in self._labels
+        if is_new:
+            self._labels.add(node.label)
+        return is_new
 
     def was_applied(self, parent_id: int, rule: NormalRule) -> bool:
         """Has this exact ground rule already been fired at this node?"""
@@ -166,6 +195,16 @@ class ChaseForest:
     def labels(self) -> frozenset[Atom]:
         """``label(F)``: the set of atoms labelling some node."""
         return frozenset(self._labels)
+
+    def labels_live(self) -> set[Atom]:
+        """The *live* label set (no copy).  Read-only by contract.
+
+        The agenda-based engine tests side-atom membership on every firing;
+        copying the set per lookup (as :meth:`labels` does) would turn the
+        incremental saturation quadratic again.  Callers must not mutate the
+        returned set.
+        """
+        return self._labels
 
     def has_label(self, atom: Atom) -> bool:
         """Does some node carry this label?"""
@@ -299,8 +338,16 @@ class ChaseForest:
         (this can only happen in hand-built forests, never in forests produced
         by :class:`repro.chase.engine.GuardedChaseEngine`).  Returns the
         number of nodes whose level changed.
+
+        The forest is append-only and levels are only mutated here, so when no
+        node was inserted since the previous pass the levels are already
+        canonical and the call returns immediately — incremental callers (the
+        agenda-based engine recomputes after every saturation) pay nothing for
+        already-canonical forests.
         """
         count = len(self._nodes)
+        if count == self._canonical_upto:
+            return 0
         if count == 0:
             return 0
         # The prerequisites of each non-root node: its parent plus the distinct
@@ -319,6 +366,59 @@ class ChaseForest:
                     seen.add(atom)
                     distinct.append(atom)
             sides.append(tuple(distinct))
+
+        # Fast path: one forward pass in insertion order (parents always
+        # precede their children), taking each side atom's smallest level
+        # *seen so far*, then one verification pass against the final
+        # per-label minima.  If the verification succeeds, the assignment
+        # satisfies the defining equations — whose solution is unique — so it
+        # is the canonical one without any heap work.  It fails (and the
+        # Dijkstra pass below takes over) exactly when some side atom is only
+        # derived by a node inserted after its consumer.
+        fast: list[int] = [0] * count
+        seen_atom: dict[Atom, int] = {}
+        consistent = True
+        for node in self._nodes:
+            node_id = node.node_id
+            if node.parent is None:
+                level = 0
+            else:
+                level = fast[node.parent]
+                for atom in sides[node_id]:
+                    seen = seen_atom.get(atom)
+                    if seen is None:
+                        consistent = False
+                        break
+                    if seen > level:
+                        level = seen
+                if not consistent:
+                    break
+                level += 1
+            fast[node_id] = level
+            previous = seen_atom.get(node.label)
+            if previous is None or level < previous:
+                seen_atom[node.label] = level
+        if consistent:
+            for node in self._nodes:
+                if node.parent is None:
+                    continue
+                node_id = node.node_id
+                level = fast[node.parent]
+                for atom in sides[node_id]:
+                    seen = seen_atom[atom]
+                    if seen > level:
+                        level = seen
+                if fast[node_id] != level + 1:
+                    consistent = False
+                    break
+            if consistent:
+                changed = 0
+                for node_id, level in enumerate(fast):
+                    if self._nodes[node_id].level != level:
+                        self._nodes[node_id].level = level
+                        changed += 1
+                self._canonical_upto = count
+                return changed
 
         waiting = [0] * count
         waiters_by_atom: dict[Atom, list[int]] = {}
@@ -363,6 +463,7 @@ class ChaseForest:
             if level is not None and self._nodes[node_id].level != level:
                 self._nodes[node_id].level = level
                 changed += 1
+        self._canonical_upto = count
         return changed
 
     def __repr__(self) -> str:

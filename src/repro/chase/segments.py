@@ -11,15 +11,23 @@ for :class:`repro.chase.engine.GuardedChaseEngine`:
 * **Canonicalisation** — :func:`canonical_atom_shape` maps a ground atom to its
   *shape*: predicate, constant positions/values and the equality pattern among
   its labelled nulls, modulo a bijective renaming of the nulls.  This is the
-  ``a`` part of the paper's type ``type_P(a) = (a, S)``; the ``S`` part (the
-  defined literals over ``dom(a)``) is *not* baked into the key — instead every
-  reuse is re-validated against the target forest (see below), so a shape
-  collision between atoms with different contexts can never corrupt answers.
-* **Memoisation** — :class:`SegmentStore` maps a shape to a
+  ``a`` part of the paper's type ``type_P(a) = (a, S)``.  The engine pairs the
+  shape with the chase-relevant fragment of the ``S`` part — the
+  side-relevant labels over ``dom(a)``, canonicalised by
+  :func:`repro.chase.types.context_part_key` — to form the full *segment
+  key*: equal keys mean identical firing environments for every inherited
+  term, which is what lets a splice place interior nodes without re-matching
+  any rules (*certified splicing*; see :mod:`repro.chase.engine`).  Every
+  reuse is additionally re-validated against the target forest (see below),
+  so even a key collision can never corrupt answers.
+* **Memoisation** — :class:`SegmentStore` maps a segment key to a
   :class:`CachedSegment`: the fully expanded subtree below a node with that
-  shape, stored position-independently as a topologically ordered list of
+  key, stored position-independently as a topologically ordered list of
   ``(parent index, canonical rule index)`` derivations plus the relative depth
-  to which the subtree was saturated.
+  to which the subtree was saturated.  Alongside, the store memoizes *ground
+  replays* per ``(key, root label)`` (:meth:`SegmentStore.replay_lookup`):
+  replaying a segment under a fixed root label is deterministic, so repeated
+  workloads place whole subtrees through set lookups and insertions only.
 * **Persistence** — stores live in a module-level registry keyed by a
   *program fingerprint* (:func:`program_fingerprint`), so segments recorded by
   one engine instance are spliced by every later engine over the same rule set
@@ -152,11 +160,12 @@ class CachedSegment:
 
 
 class SegmentStore:
-    """An LRU store of :class:`CachedSegment` keyed by canonical atom shape.
+    """An LRU store of :class:`CachedSegment` keyed by canonical segment key
+    (atom shape + side-atom context; the store treats keys as opaque tuples).
 
     One store corresponds to one program fingerprint; engines sharing a
-    fingerprint share the store (and hence each other's recorded segments).
-    All operations are thread-safe.
+    fingerprint share the store (and hence each other's recorded segments and
+    memoized replays).  All operations are thread-safe.
     """
 
     def __init__(
@@ -166,6 +175,7 @@ class SegmentStore:
         max_segments: int = 4096,
         max_segment_nodes: int = 100_000,
         max_total_nodes: int = 1_000_000,
+        max_replays: int = 4096,
     ):
         self.fingerprint = fingerprint
         self.max_segments = max_segments
@@ -173,8 +183,19 @@ class SegmentStore:
         #: budget on the *sum* of entries across all segments, so a store full
         #: of large segments cannot outgrow memory before hitting max_segments
         self.max_total_nodes = max_total_nodes
+        #: bound on the number of memoized replays (see :meth:`replay_lookup`)
+        self.max_replays = max_replays
         self._segments: "OrderedDict[tuple, CachedSegment]" = OrderedDict()
         self._total_nodes = 0
+        # Memoized replays, bucketed per segment key: key -> {root label ->
+        # fully ground derivations}, LRU-bounded (by bucket) and invalidated
+        # in O(1) whenever the key's segment is re-recorded or evicted.  A
+        # replay under a given root label is deterministic (the guard
+        # substitutions are fixed by the labels), so engines over the same
+        # database can place repeated subtrees without re-running any
+        # substitution machinery.
+        self._replays: "OrderedDict[tuple, dict]" = OrderedDict()
+        self._replay_count = 0
         self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
@@ -238,6 +259,10 @@ class SegmentStore:
                 return False
             if existing is not None:
                 self._total_nodes -= len(existing)
+                # memoized replays of the superseded segment are stale
+                stale = self._replays.pop(shape, None)
+                if stale:
+                    self._replay_count -= len(stale)
             self._segments[shape] = CachedSegment(relative_depth, entries)
             self._segments.move_to_end(shape)
             self._total_nodes += len(entries)
@@ -246,10 +271,48 @@ class SegmentStore:
                 len(self._segments) > self.max_segments
                 or self._total_nodes > self.max_total_nodes
             ):
-                _, evicted = self._segments.popitem(last=False)
+                evicted_shape, evicted = self._segments.popitem(last=False)
                 self._total_nodes -= len(evicted)
+                dropped = self._replays.pop(evicted_shape, None)
+                if dropped:
+                    self._replay_count -= len(dropped)
                 self._evictions += 1
             return True
+
+    # -- memoized replays ---------------------------------------------------------
+
+    def replay_lookup(self, key: tuple, root_label) -> Optional[tuple]:
+        """The memoized ground replay for (segment key, root label), if any.
+
+        Returns the tuple recorded by :meth:`replay_record` — fully ground
+        ``(local index, parent local index, canonical rule index, ground
+        rule, side atoms)`` derivations in placement order — or ``None``.
+        Exact by construction: replaying a segment under a given root label
+        is deterministic, and the whole bucket is dropped whenever the key's
+        segment is re-recorded or evicted.
+        """
+        with self._lock:
+            bucket = self._replays.get(key)
+            if bucket is None:
+                return None
+            self._replays.move_to_end(key)
+            return bucket.get(root_label)
+
+    def replay_record(self, key: tuple, root_label, replay: tuple) -> None:
+        """Memoize a fully placed ground replay (LRU-bounded per key bucket)."""
+        with self._lock:
+            if key not in self._segments:
+                return  # the segment was evicted meanwhile; don't resurrect
+            bucket = self._replays.get(key)
+            if bucket is None:
+                bucket = self._replays[key] = {}
+            if root_label not in bucket:
+                self._replay_count += 1
+            bucket[root_label] = replay
+            self._replays.move_to_end(key)
+            while self._replay_count > self.max_replays and self._replays:
+                _, dropped = self._replays.popitem(last=False)
+                self._replay_count -= len(dropped)
 
     # -- maintenance / introspection --------------------------------------------
 
@@ -257,6 +320,8 @@ class SegmentStore:
         """Drop every segment and reset the counters."""
         with self._lock:
             self._segments.clear()
+            self._replays.clear()
+            self._replay_count = 0
             self._total_nodes = 0
             self._hits = self._misses = self._recordings = self._evictions = 0
 

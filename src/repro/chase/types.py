@@ -40,6 +40,7 @@ __all__ = [
     "AtomType",
     "canonical_type_key",
     "shape_key",
+    "context_part_key",
     "x_isomorphism",
     "are_x_isomorphic",
     "max_type_count",
@@ -74,6 +75,29 @@ def shape_key(atom: Atom) -> tuple:
     renaming: dict[Term, str] = {}
     _rename_nulls(atom.args, renaming)
     return (atom.predicate,) + tuple(_term_key(arg, renaming) for arg in atom.args)
+
+
+def context_part_key(atom: Atom, context: Iterable[Atom]) -> tuple:
+    """Canonical key of a set of ground atoms over ``dom(a)`` (plus constants).
+
+    The nulls of *atom* are renamed by first occurrence in its argument list
+    (exactly as in :func:`shape_key`) and the context atoms — whose arguments
+    must all lie in ``dom(a)`` or be constants — are keyed with that renaming
+    and sorted.  Together with :func:`shape_key` this canonicalises the
+    chase-relevant fragment of the paper's type ``(a, S)``: two atoms with
+    equal shape *and* equal context part have X-isomorphic side-atom
+    environments, which is what makes a memoized chase subtree exactly
+    replayable under either of them (Lemma 11, specialised to the positive
+    side atoms the chase consults).
+    """
+    renaming: dict[Term, str] = {}
+    _rename_nulls(atom.args, renaming)
+    return tuple(
+        sorted(
+            (c.predicate,) + tuple(_term_key(arg, renaming) for arg in c.args)
+            for c in context
+        )
+    )
 
 
 def canonical_type_key(atom: Atom, literals: Iterable[Literal]) -> tuple:

@@ -114,6 +114,16 @@ def build_argument_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--saturation",
+        choices=["agenda", "scan"],
+        default="agenda",
+        help=(
+            "chase saturation discipline: the incremental agenda worklist "
+            "(default) or the retained breadth-first re-scan; forests and "
+            "answers are identical either way"
+        ),
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="print per-query grounding statistics (mode, ground-rule counts, fallbacks)",
@@ -162,6 +172,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             rewrite=args.rewrite,
             sips=args.sips,
             segment_cache=args.segment_cache,
+            saturation=args.saturation,
         )
         model = engine.model() if needs_model else None
     except ReproError as error:

@@ -231,6 +231,15 @@ class WellFoundedEngine:
         :mod:`repro.core.answering` LRU eviction and the relevance-pruned
         sub-engines of the rewrite fallback — skip straight to splicing.
         Answers are bit-identical with or without the cache (default on).
+    saturation:
+        Chase saturation discipline: ``"agenda"`` (default) drains the
+        incremental worklist of :class:`~repro.chase.engine.GuardedChaseEngine`;
+        ``"scan"`` runs the retained breadth-first re-scan rounds.  Both build
+        bit-identical forests and models — ``"scan"`` exists as the
+        differential-testing reference and benchmark baseline.
+    agenda_order:
+        Optional agenda scheduling hook (testing), forwarded to the chase
+        engine; see :class:`~repro.chase.engine.GuardedChaseEngine`.
     """
 
     def __init__(
@@ -248,6 +257,8 @@ class WellFoundedEngine:
         rewrite: bool = False,
         sips: str = "left-to-right",
         segment_cache: bool = True,
+        saturation: str = "agenda",
+        agenda_order=None,
     ):
         if isinstance(program, str):
             program, parsed_facts = parse_program(program)
@@ -278,6 +289,8 @@ class WellFoundedEngine:
         self.rewrite = rewrite
         self.sips = sips
         self.segment_cache = segment_cache
+        self.saturation = saturation
+        self.agenda_order = agenda_order
         self._require_guarded = require_guarded
         self._skolem_args = skolem_args
         #: statistics of the most recent ``holds``/``answer`` call (see
@@ -299,6 +312,8 @@ class WellFoundedEngine:
             max_nodes=max_nodes,
             require_guarded=require_guarded,
             segment_cache=segment_cache,
+            saturation=saturation,
+            agenda_order=agenda_order,
         )
         self._model: Optional[DatalogWellFoundedModel] = None
         # The ground program induced by the chase segment, grown incrementally
@@ -311,7 +326,16 @@ class WellFoundedEngine:
     # -- public API --------------------------------------------------------------------
 
     def model(self) -> DatalogWellFoundedModel:
-        """The well-founded model WFS(D, Σ) (computed on first use, then cached)."""
+        """The well-founded model WFS(D, Σ) (computed on first use, then cached).
+
+        A :class:`~repro.exceptions.GroundingError` from an exhausted chase
+        node budget is **sticky but resumable**: a retried ``model()`` call
+        first finishes the interrupted saturation pass, so it re-raises while
+        the budget is unchanged (it can never silently report a partially
+        expanded forest as ``converged=True``) and succeeds — resuming from
+        the partial forest instead of restarting — once the budget is raised
+        (``engine.max_nodes`` / the chase engine's ``max_nodes``).
+        """
         if self._model is None:
             self._model = self._compute()
         return self._model
@@ -483,6 +507,8 @@ class WellFoundedEngine:
                 strict=self.strict,
                 skolem_args=self._skolem_args,
                 segment_cache=self.segment_cache,
+                saturation=self.saturation,
+                agenda_order=self.agenda_order,
             )
             self._pruned_engines[key] = sub_engine
             while len(self._pruned_engines) > _PRUNED_ENGINE_CACHE_SIZE:
@@ -539,6 +565,9 @@ class WellFoundedEngine:
 
     def _compute(self) -> DatalogWellFoundedModel:
         """Iterative deepening with the type-repetition stabilisation test."""
+        # Budget raises on the engine reach the chase, so a retried model()
+        # after a GroundingError can resume the interrupted saturation.
+        self._chase.max_nodes = self.max_nodes
         previous: Optional[DatalogWellFoundedModel] = None
         previous_frontier_keys: Optional[frozenset] = None
         depth = self.initial_depth
@@ -548,6 +577,13 @@ class WellFoundedEngine:
         while depth <= self.max_depth:
             iterations += 1
             self._chase.expand(depth)
+            # Resuming after a budget raise: the chase may already be committed
+            # to a deeper bound than this schedule step (the interrupted pass
+            # finished there).  Fast-forward the schedule so consecutive
+            # iterations always observe *genuinely different* depths —
+            # otherwise the stabilisation test would compare the committed
+            # forest to itself and report convergence without evidence.
+            depth = max(depth, self._chase.depth_bound)
             lp_model = well_founded_model(self._ground_program())
             model = DatalogWellFoundedModel(
                 lp_model,

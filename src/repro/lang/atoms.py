@@ -12,7 +12,7 @@ amount of convenience API for building atoms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from .terms import (
@@ -42,9 +42,27 @@ class Atom:
 
     predicate: str
     args: tuple[Term, ...]
+    #: hash cached at construction: atoms are hashed constantly (label sets,
+    #: rule indexes, waiter tables) and deep Skolem arguments make re-hashing
+    #: per lookup measurably expensive; term hashes are already cached, so
+    #: this is O(arity) once.
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "args", tuple(self.args))
+        object.__setattr__(self, "_hash", hash((self.predicate, self.args)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Atom):
+            return NotImplemented
+        if self._hash != other._hash:
+            return False
+        return self.predicate == other.predicate and self.args == other.args
 
     # -- basic structure ---------------------------------------------------
 
@@ -104,6 +122,24 @@ class Literal:
 
     atom: Atom
     positive: bool = True
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.atom, self.positive)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Literal):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.positive == other.positive
+            and self.atom == other.atom
+        )
 
     # -- construction helpers ----------------------------------------------
 

@@ -44,11 +44,33 @@ class NormalRule:
     head: Atom
     body_pos: tuple[Atom, ...] = ()
     body_neg: tuple[Atom, ...] = ()
+    #: hash cached at construction (see Atom._hash): ground rules are interned
+    #: by every index and the generated hash would re-walk the whole rule.
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "body_pos", tuple(self.body_pos))
         object.__setattr__(self, "body_neg", tuple(self.body_neg))
+        object.__setattr__(
+            self, "_hash", hash((self.head, self.body_pos, self.body_neg))
+        )
         self._check_safety()
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, NormalRule):
+            return NotImplemented
+        if self._hash != other._hash:
+            return False
+        return (
+            self.head == other.head
+            and self.body_pos == other.body_pos
+            and self.body_neg == other.body_neg
+        )
 
     def _check_safety(self) -> None:
         """Reject rules whose head/negative-body variables are not covered."""

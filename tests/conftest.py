@@ -30,6 +30,28 @@ move(X, Y), not win(Y) -> win(X).
 """
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "stress: long-running stress tests (deselected unless run with -m stress)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Keep tier-1 fast: stress-marked tests only run when asked for.
+
+    ``pytest -m stress`` (the CI ``stress`` job) selects them explicitly; any
+    marker expression mentioning ``stress`` disables the auto-skip so
+    combinations like ``-m "stress and not slow"`` behave as written.
+    """
+    if "stress" in (config.getoption("-m") or ""):
+        return
+    skip_stress = pytest.mark.skip(reason="stress tests run only with -m stress")
+    for item in items:
+        if "stress" in item.keywords:
+            item.add_marker(skip_stress)
+
+
 @pytest.fixture(scope="session")
 def paper_example_engine() -> WellFoundedEngine:
     """An engine over the paper's Example 4, with its model already computed."""

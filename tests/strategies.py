@@ -7,6 +7,8 @@ imports — ``tests`` is intentionally not a package.
 
 from __future__ import annotations
 
+import random
+
 from hypothesis import strategies as st
 
 from repro.lang.atoms import Atom
@@ -23,6 +25,7 @@ __all__ = [
     "ground_atoms",
     "prop_atoms",
     "ground_programs",
+    "agenda_orderings",
 ]
 
 constants = st.sampled_from([Constant(name) for name in "abcde"])
@@ -81,3 +84,25 @@ def ground_programs(draw):
     for _ in range(num_facts):
         rules.append(NormalRule(draw(prop_atoms)))
     return GroundProgram(rules)
+
+
+@st.composite
+def agenda_orderings(draw):
+    """A random agenda-scheduling policy for the chase engine.
+
+    Draws a seed and returns a zero-argument factory producing a fresh
+    ``agenda_order`` callable (``queue length -> index to pop``) driven by a
+    seeded PRNG — a fresh callable per engine, so two engines given the same
+    factory replay the same permutation and a test can still vary the order
+    across examples.  ``None`` (the engine's default LIFO policy) is drawn as
+    a degenerate case.
+    """
+    seed = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=2**16)))
+    if seed is None:
+        return lambda: None
+
+    def factory():
+        rng = random.Random(seed)
+        return lambda queue_length: rng.randrange(queue_length)
+
+    return factory

@@ -14,6 +14,7 @@ from repro.lang.skolem import skolemize_program
 from repro.lang.terms import Constant, FunctionTerm, Variable
 from repro.chase.engine import GuardedChaseEngine, chase_forest
 from repro.chase.forest import ChaseForest
+from repro.core.engine import WellFoundedEngine
 
 
 def literature_pieces():
@@ -236,3 +237,135 @@ class TestGuardedChaseEngine:
         positive, negative = forest.side_literals_of_path(t_nodes[0].node_id)
         # the rule deriving t(0) carries the negative hypothesis s(0)
         assert parse_atom("s(0)") in negative
+
+
+class TestForestChangeNotification:
+    def test_listeners_fire_on_every_insertion(self):
+        forest = ChaseForest()
+        events: list[tuple[str, bool]] = []
+        forest.add_listener(lambda node, is_new: events.append((str(node.label), is_new)))
+        root = forest.add_root(parse_atom("p(a)"))
+        rule = NormalRule(parse_atom("q(a)"), (parse_atom("p(a)"),), ())
+        forest.add_child(root.node_id, parse_atom("q(a)"), rule, level=1)
+        # a second node with an existing label reports is_new_label=False
+        rule2 = NormalRule(parse_atom("q(a)"), (parse_atom("q(a)"),), ())
+        forest.add_child(root.node_id + 1, parse_atom("q(a)"), rule2, level=2)
+        assert events == [("p(a)", True), ("q(a)", True), ("q(a)", False)]
+
+
+INFINITE_CHAIN = """
+next(X, Y) -> exists Z next(Y, Z).
+next(a, b).
+"""
+
+
+class TestBudgetFailureRetry:
+    """Regression for the ROADMAP item surfaced by the PR 3 property suite:
+    after ``expand`` raises :class:`GroundingError`, a retried ``model()``
+    used to resume on the partially expanded forest and report
+    ``converged=True`` because the no-op deepening steps trivially stabilise.
+    The retry must re-raise instead — and genuinely resume (not restart) once
+    the node budget is raised."""
+
+    @pytest.mark.parametrize("saturation", ["agenda", "scan"])
+    def test_retried_model_reraises_until_budget_is_raised(self, saturation):
+        engine = WellFoundedEngine(
+            INFINITE_CHAIN,
+            max_nodes=5,
+            max_depth=21,
+            saturation=saturation,
+            segment_cache=False,
+        )
+        with pytest.raises(GroundingError):
+            engine.model()
+        # the retry must not report a converged model on the partial forest
+        with pytest.raises(GroundingError):
+            engine.model()
+
+    @pytest.mark.parametrize("saturation", ["agenda", "scan"])
+    def test_raised_budget_resumes_to_the_mirror_schedule_model(self, saturation):
+        """Raising the budget resumes to exactly the model of a fresh engine
+        whose deepening *starts at the committed chase bound* — the schedule
+        the resumed engine genuinely follows (the shallower views of the
+        interrupted schedule are unrecoverable: the forest is already
+        committed deeper, so this is the strongest exactness available)."""
+        engine = WellFoundedEngine(
+            INFINITE_CHAIN,
+            max_nodes=5,
+            max_depth=21,
+            saturation=saturation,
+            segment_cache=False,
+        )
+        with pytest.raises(GroundingError):
+            engine.model()
+        committed = engine._chase.depth_bound
+        partial_nodes = len(engine._chase.forest)
+        engine.max_nodes = 100_000
+        model = engine.model()
+        mirror = WellFoundedEngine(
+            INFINITE_CHAIN,
+            initial_depth=committed,
+            max_depth=21,
+            saturation=saturation,
+            segment_cache=False,
+        ).model()
+        assert model.true_atoms() == mirror.true_atoms()
+        assert model.false_atoms() == mirror.false_atoms()
+        assert model.undefined_atoms() == mirror.undefined_atoms()
+        assert model.converged == mirror.converged
+        assert model.depth == mirror.depth
+        # the resume continued from the partial forest rather than restarting
+        assert partial_nodes <= len(engine._chase.forest)
+        # and the values it shares with a fully fresh engine's segment agree
+        fresh = WellFoundedEngine(
+            INFINITE_CHAIN, max_depth=21, saturation=saturation, segment_cache=False
+        ).model()
+        for atom in fresh.segment_atoms() & model.segment_atoms():
+            assert model.value(atom) == fresh.value(atom)
+
+    def test_mid_schedule_resume_does_not_fake_convergence(self):
+        """Regression: a budget failure *past the first deepening step* leaves
+        the chase committed deeper than the schedule; a naive retry would
+        compare the committed forest to itself and report ``converged=True``.
+        The resumed schedule must fast-forward to the committed bound and keep
+        gathering genuine depth-vs-depth evidence."""
+        rotation = """
+        p(X,Y) -> exists Z q(Y,Z).
+        q(X,Y) -> exists Z r(Y,Z).
+        r(X,Y) -> exists Z p(Y,Z).
+        p(a,b).
+        """
+        fresh = WellFoundedEngine(rotation, max_depth=9, segment_cache=False).model()
+        assert not fresh.converged  # the rotation never stabilises by depth 9
+        tight = WellFoundedEngine(
+            rotation, max_depth=9, max_nodes=4, segment_cache=False
+        )
+        with pytest.raises(GroundingError):
+            tight.model()
+        assert tight._chase.depth_bound > tight.initial_depth  # mid-schedule
+        tight.max_nodes = 100_000
+        resumed = tight.model()
+        assert resumed.converged == fresh.converged
+        assert resumed.depth == fresh.depth
+        assert resumed.true_atoms() == fresh.true_atoms()
+        assert resumed.false_atoms() == fresh.false_atoms()
+        assert resumed.undefined_atoms() == fresh.undefined_atoms()
+
+    def test_chase_engine_expand_is_resumable(self):
+        """The chase layer itself resumes an interrupted saturation pass."""
+        program, database = parse_program(INFINITE_CHAIN)
+        skolemized = skolemize_program(program)
+        engine = GuardedChaseEngine(skolemized, database, max_nodes=3)
+        with pytest.raises(GroundingError):
+            engine.expand(14)
+        # same budget: a retry (even at a smaller requested depth) re-raises
+        with pytest.raises(GroundingError):
+            engine.expand(2)
+        engine.max_nodes = 200
+        engine.expand(2)  # resumes and finishes the committed depth bound
+        reference = GuardedChaseEngine(skolemized, database)
+        reference.expand(14)
+        assert engine.forest.labels() == reference.forest.labels()
+        assert frozenset(engine.forest.edge_rules()) == frozenset(
+            reference.forest.edge_rules()
+        )
