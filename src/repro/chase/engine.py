@@ -69,6 +69,13 @@ from .types import context_part_key, shape_key
 
 __all__ = ["GuardedChaseEngine", "chase_forest"]
 
+#: Outcomes of :meth:`GuardedChaseEngine._place_one_derivation`, the shared
+#: placement core of the validated and memoised splice paths.
+_PLACE_PLACED = "placed"
+_PLACE_DEPTH_CUT = "depth-cut"
+_PLACE_SIDE_MISSING = "side-missing"
+_PLACE_ALREADY_APPLIED = "already-applied"
+
 
 class _PreparedRule:
     """A Skolemised rule with its guard singled out for efficient matching."""
@@ -216,6 +223,16 @@ class GuardedChaseEngine:
         self._watches: dict[int, tuple[frozenset, list[int]]] = {}
         self._watch_by_term: dict = {}
         self._watch_counter = 0
+        # Per-label segment-key cache: the context part of a key is stable
+        # until a new side-relevant label lands on the label's terms, so
+        # recomputing it for every hostable node on every expansion (the
+        # `_record_segments` key scan) is pure waste.  Invalidated through
+        # the same side-label bookkeeping the splice watchers use
+        # (:meth:`_invalidate_key_cache` from :meth:`_on_node_added`), and
+        # initialised before the forest listener is installed — the listener
+        # consults it from the very first fact.
+        self._key_cache: dict[Atom, tuple] = {}
+        self._key_cache_by_term: dict = {}
         # While True (inside _instantiate_segment), newly inserted nodes are
         # *not* self-enqueued: the splice decides which placed nodes need
         # processing (frontier, voided certificates) — that is the whole point
@@ -293,6 +310,11 @@ class GuardedChaseEngine:
         # current frontier, which the next deepening step will ask for) are
         # worth extracting.
         self._missed_keys: set[tuple] = set()
+        # The pre-saturation lookup key of each label that missed: compared
+        # against the post-saturation key at recording time to detect *cold
+        # context-sensitive keys* (a context that only materialises during
+        # saturation) and double-key such segments via a store alias.
+        self._miss_key_by_label: dict[Atom, tuple] = {}
         # Segment keys that were looked up and hit: checked after saturation
         # for staleness (saturation may have derived more under the spliced
         # root than the stored segment knows, e.g. when the segment was
@@ -449,6 +471,7 @@ class GuardedChaseEngine:
                         self._side_labels_by_term.setdefault(term, []).append(label)
                 else:
                     self._side_nullary.add(label)
+                self._invalidate_key_cache(label)
                 if self._watches:
                     self._fire_watches(label)
 
@@ -694,12 +717,65 @@ class GuardedChaseEngine:
                     found.add(atom)
         return list(found)
 
-    def _segment_key(self, label: Atom) -> tuple:
+    def _segment_key_uncached(self, label: Atom) -> tuple:
         """The full segment key of a label: canonical shape plus context part."""
         context = self._context_atoms(label)
         if not context:
             return (self._shape(label), ())
         return (self._shape(label), context_part_key(label, context))
+
+    def _segment_key(self, label: Atom) -> tuple:
+        """The segment key of a label, cached until its context can change.
+
+        A label's context part only grows when a new side-relevant label
+        lands on its terms (or on the rule constants every context includes)
+        — exactly the event :meth:`_on_node_added` already tracks for the
+        splice watchers, which is where :meth:`_invalidate_key_cache` drops
+        the affected entries.  The hypothesis suite asserts cached keys equal
+        the recomputed ones (:meth:`_segment_key_uncached`) after arbitrary
+        expansions.
+        """
+        key = self._key_cache.get(label)
+        if key is None:
+            key = self._segment_key_uncached(label)
+            self._key_cache[label] = key
+            by_term = self._key_cache_by_term
+            for term in set(label.args):
+                by_term.setdefault(term, set()).add(label)
+        return key
+
+    def _invalidate_key_cache(self, label: Atom) -> None:
+        """Drop cached segment keys the new side-relevant *label* may extend.
+
+        A context over ``dom(a)`` gains the new label only when every one of
+        its arguments lies in ``dom(a)`` plus the rule constants, so it
+        suffices to drop the labels sharing one of its argument terms — and
+        to drop everything when the label has no discriminating terms at all
+        (nullary, or arguments purely over rule constants), mirroring the
+        conservative wake rule of :meth:`_fire_watches`.
+        """
+        cache = self._key_cache
+        if not cache:
+            return
+        if not label.args or all(arg in self._side_constants for arg in label.args):
+            cache.clear()
+            self._key_cache_by_term.clear()
+            return
+        by_term = self._key_cache_by_term
+        for term in set(label.args):
+            for cached in by_term.pop(term, ()):
+                if cache.pop(cached, None) is None:
+                    continue  # already dropped via an earlier term this round
+                # unregister the dropped label from its other terms' buckets
+                # (mirroring _fire_watches) so dead entries cannot accumulate
+                for other in set(cached.args):
+                    if other == term:
+                        continue
+                    bucket = by_term.get(other)
+                    if bucket is not None:
+                        bucket.discard(cached)
+                        if not bucket:
+                            del by_term[other]
 
     def _splice_from_cache(self, max_depth: int) -> bool:
         """Instantiate cached segments under every unexpanded matching node.
@@ -732,6 +808,7 @@ class GuardedChaseEngine:
             if segment is None:
                 self.cache_stats["misses"] += 1
                 self._missed_keys.add(key)
+                self._miss_key_by_label.setdefault(node.label, key)
                 continue
             self.cache_stats["hits"] += 1
             self._hit_keys.add(key)
@@ -842,6 +919,8 @@ class GuardedChaseEngine:
                         retry.append((local_index, parent_local, rule_index, checked_at))
                         continue
                     parent = forest.node(parent_id)
+                    # cheap short-circuits before the substitution machinery;
+                    # _place_one_derivation re-checks both authoritatively
                     if parent.depth >= max_depth:
                         dropped.add(local_index)
                         continue
@@ -858,8 +937,22 @@ class GuardedChaseEngine:
                         retry.append((local_index, parent_local, rule_index, len(forest)))
                         continue
                     ground_rule = _instantiate(prepared.rule, subst)
-                    if forest.was_applied(parent_id, ground_rule):
-                        self._decided.add((parent_id, prepared.seq))
+                    status, child_id, void = self._place_one_derivation(
+                        parent_id,
+                        prepared.seq,
+                        ground_rule,
+                        side_atoms,
+                        created,
+                        void,
+                        max_depth,
+                    )
+                    if status is _PLACE_DEPTH_CUT:
+                        dropped.add(local_index)
+                        continue
+                    if status is _PLACE_SIDE_MISSING:
+                        retry.append((local_index, parent_local, rule_index, len(forest)))
+                        continue
+                    if status is _PLACE_ALREADY_APPLIED:
                         for sibling in forest.children(parent_id):
                             if sibling.edge_rule == ground_rule:
                                 placed[local_index] = sibling.node_id
@@ -870,20 +963,8 @@ class GuardedChaseEngine:
                         void = True
                         progress = True
                         continue
-                    # resumable: on failure the partially placed subtree is
-                    # re-enqueued for ordinary saturation under a larger budget
-                    self._budget_guard(created)
-                    if not void and forest.has_label(ground_rule.head):
-                        # a twin subtree may hold atoms over this label's
-                        # nulls that the recording never saw
-                        void = True
-                    child = forest.add_child(
-                        parent_id, ground_rule.head, ground_rule, parent.level + 1
-                    )
-                    self._decided.add((parent_id, prepared.seq))
-                    placed[local_index] = child.node_id
+                    placed[local_index] = child_id
                     local_depth[local_index] = local_depth[parent_local] + 1
-                    created.append(child.node_id)
                     memo_entries.append(
                         (local_index, parent_local, rule_index, ground_rule, side_atoms)
                     )
@@ -912,15 +993,15 @@ class GuardedChaseEngine:
         """Place a memoized ground replay: set lookups and insertions only.
 
         The memo's derivations are exact for this (segment key, root label)
-        pair, so no substitution runs; each placement still re-checks its side
-        atoms, the depth bound and the node budget.  Any surprise — a missing
-        side atom, an already applied derivation — aborts to ``None`` after
-        enqueueing the nodes placed so far, and the caller falls back to the
-        ordinary validated replay.  Certificate handling (frontier and
-        depth-bound enqueueing, twin-label voiding, watcher registration) is
-        the same as for a validated replay.
+        pair, so no substitution runs; each placement still goes through
+        :meth:`_place_one_derivation` — the same side-atom, depth-bound,
+        duplicate and budget checks as the validated replay.  Any surprise —
+        a missing side atom, an already applied derivation — aborts to
+        ``None`` after enqueueing the nodes placed so far, and the caller
+        falls back to the ordinary validated replay.  Certificate handling
+        (frontier and depth-bound enqueueing, twin-label voiding, watcher
+        registration) is the same as for a validated replay.
         """
-        forest = self.forest
         placed: dict[int, int] = {0: root_id}
         local_depth: dict[int, int] = {0: 0}
         created: list[int] = []
@@ -935,30 +1016,77 @@ class GuardedChaseEngine:
                 parent_id = placed.get(parent_local)
                 if parent_id is None:
                     continue  # parent was cut by the depth bound
-                parent = forest.node(parent_id)
-                if parent.depth >= max_depth:
-                    continue
-                if any(not forest.has_label(atom) for atom in side_atoms):
-                    self._enqueue_all(created)
-                    return None
-                if forest.was_applied(parent_id, ground_rule):
-                    self._enqueue_all(created)
-                    return None
-                self._budget_guard(created)
-                if not void and forest.has_label(ground_rule.head):
-                    void = True
-                child = forest.add_child(
-                    parent_id, ground_rule.head, ground_rule, parent.level + 1
+                status, child_id, void = self._place_one_derivation(
+                    parent_id,
+                    rules[rule_index].seq,
+                    ground_rule,
+                    side_atoms,
+                    created,
+                    void,
+                    max_depth,
                 )
-                self._decided.add((parent_id, rules[rule_index].seq))
-                placed[local_index] = child.node_id
+                if status is _PLACE_DEPTH_CUT:
+                    continue
+                if status is not _PLACE_PLACED:
+                    # a missing side atom or an already applied derivation:
+                    # the memo's premises failed — fall back to validation
+                    self._enqueue_all(created)
+                    return None
+                placed[local_index] = child_id
                 local_depth[local_index] = local_depth[parent_local] + 1
-                created.append(child.node_id)
         finally:
             self._suppress_agenda = False
         if created:
             self._finish_splice(segment, placed, local_depth, created, set(), void)
         return created
+
+    def _place_one_derivation(
+        self,
+        parent_id: int,
+        rule_seq: int,
+        ground_rule: NormalRule,
+        side_atoms: Sequence[Atom],
+        created: list[int],
+        void: bool,
+        max_depth: int,
+    ) -> tuple[str, Optional[int], bool]:
+        """Place one replayed derivation under its (already resolved) parent.
+
+        The shared placement core of the validated
+        (:meth:`_instantiate_segment`) and memoised (:meth:`_replay_memoised`)
+        splice paths: the depth cut, the side-atom re-validation, duplicate
+        (``was_applied``) detection, the resumable budget guard, twin-label
+        certificate voiding and the forest/decided/created bookkeeping all
+        live here — and only here — so the memoised fast path can never drift
+        from the validated one.  Returns ``(status, child_id, void)``; the
+        child id is set only for ``_PLACE_PLACED``, and reacting to the other
+        outcomes (retry, drop, flag the parent, or abort the whole memo) is
+        the caller's policy.
+        """
+        forest = self.forest
+        parent = forest.node(parent_id)
+        if parent.depth >= max_depth:
+            return _PLACE_DEPTH_CUT, None, void
+        if any(not forest.has_label(atom) for atom in side_atoms):
+            return _PLACE_SIDE_MISSING, None, void
+        if forest.was_applied(parent_id, ground_rule):
+            # for fully-bound rules the pair's unique instance is in the
+            # forest, so the (parent, rule) pair is decided either way
+            self._decided.add((parent_id, rule_seq))
+            return _PLACE_ALREADY_APPLIED, None, void
+        # resumable: on failure the partially placed subtree is re-enqueued
+        # for ordinary saturation under a larger budget
+        self._budget_guard(created)
+        if not void and forest.has_label(ground_rule.head):
+            # a twin subtree may hold atoms over this label's nulls that the
+            # recording never saw
+            void = True
+        child = forest.add_child(
+            parent_id, ground_rule.head, ground_rule, parent.level + 1
+        )
+        self._decided.add((parent_id, rule_seq))
+        created.append(child.node_id)
+        return _PLACE_PLACED, child.node_id, void
 
     def _finish_splice(
         self,
@@ -1016,10 +1144,11 @@ class GuardedChaseEngine:
 
         Keys are computed against the *saturated* forest, which is also the
         state every later lookup sees first (splices run before new
-        derivations): a key whose side-atom context only materialises during
-        saturation misses on the lookup side and never matches a recording —
-        the cache simply stays cold for that type, which is the sound
-        direction of the trade.
+        derivations).  A key whose side-atom context only materialises during
+        saturation would miss on the lookup side and never match a recording
+        — such *cold* keys are detected by comparing each missed label's
+        lookup key with its post-saturation key, and the segment is
+        double-keyed through a store alias (soundness argument inline below).
         """
         store = self._segment_store
         hostable = self._rules_by_guard_pred
@@ -1052,8 +1181,30 @@ class GuardedChaseEngine:
                 and self._subtree_exceeds(node.node_id, len(segment))
             ):
                 demanded.add(key)
+        # Cold context-sensitive keys: a label whose side-atom context only
+        # materialised *during* saturation was looked up under the lean
+        # pre-saturation key but keys under the rich post-saturation one —
+        # without help it records under a key no fresh engine's lookup ever
+        # produces (a guaranteed miss).  Demand the post-saturation key so
+        # the segment is recorded at all, and double-key it by aliasing the
+        # pre-saturation key to it.  The alias is sound exactly when the
+        # lookup context is a subset of the recorded context: a splice under
+        # the alias can then only find side atoms *missing*, which the
+        # flag/retry machinery and the wake-once watchers already cover; an
+        # incomparable context could enable firings the recording never saw,
+        # so it is never aliased.
+        alias_requests: list[tuple[tuple, tuple]] = []
+        for label, pre_key in self._miss_key_by_label.items():
+            post_key = self._segment_key(label)
+            if post_key == pre_key:
+                continue
+            if pre_key[0] != post_key[0] or not set(pre_key[1]) <= set(post_key[1]):
+                continue
+            demanded.add(post_key)
+            alias_requests.append((pre_key, post_key))
         self._missed_keys = set()
         self._hit_keys = set()
+        self._miss_key_by_label = {}
         for key in demanded:
             node = shallowest.get(key)
             if node is None:
@@ -1074,6 +1225,9 @@ class GuardedChaseEngine:
                 # seed the replay memo too: the very next engine over the same
                 # database can place this subtree without any substitution
                 store.replay_record(key, node.label, replay)
+        for pre_key, post_key in alias_requests:
+            if store.peek(post_key) is not None:
+                store.record_alias(pre_key, post_key)
 
     def _subtree_exceeds(self, node_id: int, limit: int) -> bool:
         """Does the subtree below *node_id* have more than *limit* descendants?

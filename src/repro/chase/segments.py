@@ -196,34 +196,64 @@ class SegmentStore:
         # substitution machinery.
         self._replays: "OrderedDict[tuple, dict]" = OrderedDict()
         self._replay_count = 0
+        # Alias keys (see :meth:`record_alias`): a *cold* context-sensitive
+        # lookup key served by the segment recorded under a richer
+        # post-saturation key.  Resolved transparently by lookup/peek/the
+        # replay memos; entries whose target was evicted are dropped lazily.
+        self._aliases: "OrderedDict[tuple, tuple]" = OrderedDict()
         self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
         self._recordings = 0
         self._evictions = 0
+        self._alias_hits = 0
 
     # -- lookup / record --------------------------------------------------------
 
+    def _resolve_key(self, shape: tuple) -> tuple:
+        """The key actually holding a segment for *shape* (follows one alias).
+
+        Caller must hold the lock.  A directly recorded segment always wins
+        over an alias; an alias whose target segment was evicted is dropped
+        on the way through.
+        """
+        if shape in self._segments:
+            return shape
+        target = self._aliases.get(shape)
+        if target is not None:
+            if target in self._segments:
+                return target
+            del self._aliases[shape]
+        return shape
+
     def lookup(self, shape: tuple) -> Optional[CachedSegment]:
-        """The cached segment for a shape, or ``None`` (counts hit/miss)."""
+        """The cached segment for a shape, or ``None`` (counts hit/miss).
+
+        Alias keys (:meth:`record_alias`) resolve to their target's segment
+        and count as hits (plus the ``alias_hits`` counter).
+        """
         with self._lock:
-            segment = self._segments.get(shape)
+            resolved = self._resolve_key(shape)
+            segment = self._segments.get(resolved)
             if segment is None:
                 self._misses += 1
                 return None
-            self._segments.move_to_end(shape)
+            self._segments.move_to_end(resolved)
+            if resolved is not shape:
+                self._aliases.move_to_end(shape)
+                self._alias_hits += 1
             self._hits += 1
             return segment
 
     def contains(self, shape: tuple) -> bool:
         """Is a segment recorded for this shape?  No LRU or counter effects."""
         with self._lock:
-            return shape in self._segments
+            return self._resolve_key(shape) in self._segments
 
     def peek(self, shape: tuple) -> Optional[CachedSegment]:
         """The segment for a shape without LRU or counter effects."""
         with self._lock:
-            return self._segments.get(shape)
+            return self._segments.get(self._resolve_key(shape))
 
     def needs(self, shape: tuple, relative_depth: int) -> bool:
         """Would recording a segment saturated to *relative_depth* improve the store?"""
@@ -265,6 +295,7 @@ class SegmentStore:
                     self._replay_count -= len(stale)
             self._segments[shape] = CachedSegment(relative_depth, entries)
             self._segments.move_to_end(shape)
+            self._aliases.pop(shape, None)  # a direct segment supersedes an alias
             self._total_nodes += len(entries)
             self._recordings += 1
             while self._segments and (
@@ -279,6 +310,33 @@ class SegmentStore:
                 self._evictions += 1
             return True
 
+    def record_alias(self, alias: tuple, target: tuple) -> None:
+        """Serve lookups of *alias* with the segment recorded under *target*.
+
+        Double-keying for *cold context-sensitive keys*: a type whose
+        side-atom context only materialises during saturation records under
+        the post-saturation key (*target*) while fresh engines look it up
+        under the pre-saturation key (*alias*) — without the alias the
+        segment would be a guaranteed miss.  The caller
+        (:meth:`repro.chase.engine.GuardedChaseEngine._record_segments`)
+        registers an alias only when the lookup context is a **subset** of
+        the recorded context, which keeps the splice sound: replayed
+        derivations can only find side atoms missing (handled by the
+        flag/retry machinery and the wake-once watchers), never fire beyond
+        what the recording saw.  Aliases are LRU-bounded by ``max_segments``
+        and dropped lazily when their target is evicted; a key with a
+        directly recorded segment is never aliased away.
+        """
+        with self._lock:
+            if alias == target or alias in self._segments:
+                return
+            if target not in self._segments:
+                return
+            self._aliases[alias] = target
+            self._aliases.move_to_end(alias)
+            while len(self._aliases) > self.max_segments:
+                self._aliases.popitem(last=False)
+
     # -- memoized replays ---------------------------------------------------------
 
     def replay_lookup(self, key: tuple, root_label) -> Optional[tuple]:
@@ -292,15 +350,22 @@ class SegmentStore:
         segment is re-recorded or evicted.
         """
         with self._lock:
-            bucket = self._replays.get(key)
+            resolved = self._resolve_key(key)
+            bucket = self._replays.get(resolved)
             if bucket is None:
                 return None
-            self._replays.move_to_end(key)
+            self._replays.move_to_end(resolved)
             return bucket.get(root_label)
 
     def replay_record(self, key: tuple, root_label, replay: tuple) -> None:
-        """Memoize a fully placed ground replay (LRU-bounded per key bucket)."""
+        """Memoize a fully placed ground replay (LRU-bounded per key bucket).
+
+        Alias keys resolve to their target's bucket, so a replay placed
+        through an alias lookup is reusable by direct lookups too (and vice
+        versa — the replay depends only on the segment and the root label).
+        """
         with self._lock:
+            key = self._resolve_key(key)
             if key not in self._segments:
                 return  # the segment was evicted meanwhile; don't resurrect
             bucket = self._replays.get(key)
@@ -321,9 +386,11 @@ class SegmentStore:
         with self._lock:
             self._segments.clear()
             self._replays.clear()
+            self._aliases.clear()
             self._replay_count = 0
             self._total_nodes = 0
             self._hits = self._misses = self._recordings = self._evictions = 0
+            self._alias_hits = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -339,6 +406,8 @@ class SegmentStore:
                 "misses": self._misses,
                 "recordings": self._recordings,
                 "evictions": self._evictions,
+                "aliases": len(self._aliases),
+                "alias_hits": self._alias_hits,
             }
 
     def __repr__(self) -> str:

@@ -114,6 +114,16 @@ def build_argument_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--incremental",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "re-solve the well-founded model incrementally across the "
+            "iterative-deepening schedule (--no-incremental recomputes it "
+            "from scratch at every depth; models are identical either way)"
+        ),
+    )
+    parser.add_argument(
         "--saturation",
         choices=["agenda", "scan"],
         default="agenda",
@@ -173,6 +183,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             sips=args.sips,
             segment_cache=args.segment_cache,
             saturation=args.saturation,
+            incremental=args.incremental,
         )
         model = engine.model() if needs_model else None
     except ReproError as error:

@@ -62,7 +62,12 @@ from ..chase.forest import ChaseForest
 from ..chase.types import AtomType
 from ..lp.grounding import GroundProgram
 from ..lp.interpretation import TruthValue
-from ..lp.wfs import WellFoundedModel, well_founded_model
+from ..lp.wfs import (
+    IncrementalWFS,
+    WellFoundedModel,
+    well_founded_model,
+    well_founded_model_incremental,
+)
 from ..rewrite.magic import ground_magic, rewrite_for_query
 from .locality import delta_bound, query_depth_bound
 
@@ -240,6 +245,17 @@ class WellFoundedEngine:
     agenda_order:
         Optional agenda scheduling hook (testing), forwarded to the chase
         engine; see :class:`~repro.chase.engine.GuardedChaseEngine`.
+    incremental:
+        Re-solve the well-founded model *incrementally* across the
+        iterative-deepening schedule (default on): the dependency condensation
+        of the growing ground program is maintained under rule insertion
+        (:class:`~repro.lp.fixpoint.IncrementalCondensation`) and only the
+        components the depth step's delta touched are re-solved, seeded from
+        the previous depth's component solutions
+        (:class:`~repro.lp.wfs.IncrementalWFS`).  ``incremental=False`` runs
+        the from-scratch SCC-modular computation at every depth — the
+        differential oracle the incremental test suites compare against.
+        Models and answers are bit-identical either way.
     """
 
     def __init__(
@@ -259,6 +275,7 @@ class WellFoundedEngine:
         segment_cache: bool = True,
         saturation: str = "agenda",
         agenda_order=None,
+        incremental: bool = True,
     ):
         if isinstance(program, str):
             program, parsed_facts = parse_program(program)
@@ -291,6 +308,7 @@ class WellFoundedEngine:
         self.segment_cache = segment_cache
         self.saturation = saturation
         self.agenda_order = agenda_order
+        self.incremental = incremental
         self._require_guarded = require_guarded
         self._skolem_args = skolem_args
         #: statistics of the most recent ``holds``/``answer`` call (see
@@ -322,6 +340,10 @@ class WellFoundedEngine:
         # (also incrementally maintained) ground program and its rule index.
         self._ground = GroundProgram()
         self._ground_consumed = 0
+        # Incremental WFS solver threaded through the deepening schedule: it
+        # keeps the previous depth's component solutions and re-solves only
+        # the components the depth step's delta touched (None when disabled).
+        self._wfs_state: Optional[IncrementalWFS] = None
 
     # -- public API --------------------------------------------------------------------
 
@@ -428,6 +450,7 @@ class WellFoundedEngine:
                 "converged": model.converged,
                 "segment_cache": self._chase.cache_stats["enabled"],
                 "nodes_spliced": self._chase.cache_stats["nodes_spliced"],
+                "incremental": self.incremental,
             }
             return model
 
@@ -509,6 +532,7 @@ class WellFoundedEngine:
                 segment_cache=self.segment_cache,
                 saturation=self.saturation,
                 agenda_order=self.agenda_order,
+                incremental=self.incremental,
             )
             self._pruned_engines[key] = sub_engine
             while len(self._pruned_engines) > _PRUNED_ENGINE_CACHE_SIZE:
@@ -584,7 +608,7 @@ class WellFoundedEngine:
             # otherwise the stabilisation test would compare the committed
             # forest to itself and report convergence without evidence.
             depth = max(depth, self._chase.depth_bound)
-            lp_model = well_founded_model(self._ground_program())
+            lp_model = self._solve_wfs(self._ground_program())
             model = DatalogWellFoundedModel(
                 lp_model,
                 self._chase.forest,
@@ -610,6 +634,23 @@ class WellFoundedEngine:
                 partial_model=model,
                 depth=self.max_depth,
             )
+        return model
+
+    def _solve_wfs(self, ground: GroundProgram) -> WellFoundedModel:
+        """The WFS of the segment's ground program, incremental when enabled.
+
+        The incremental solver is bound to the engine's persistent
+        :class:`GroundProgram` (grown in place by :meth:`_ground_program`), so
+        consecutive deepening rounds re-solve only the components the new
+        ground rules touched.  The from-scratch path (``incremental=False``)
+        computes the identical model cold and serves as the differential
+        oracle.
+        """
+        if not self.incremental:
+            return well_founded_model(ground)
+        model, self._wfs_state = well_founded_model_incremental(
+            ground, self._wfs_state
+        )
         return model
 
     def _ground_program(self) -> GroundProgram:

@@ -9,7 +9,12 @@ produced from chase segments.
 """
 
 from .fitting import fitting_operator, kripke_kleene_model
-from .fixpoint import RuleIndex, strongly_connected_components
+from .fixpoint import (
+    CondensationUpdate,
+    IncrementalCondensation,
+    RuleIndex,
+    strongly_connected_components,
+)
 from .grounding import (
     GroundProgram,
     PredicateIndex,
@@ -36,11 +41,13 @@ from .unfounded import (
     possibly_true_atoms_naive,
 )
 from .wfs import (
+    IncrementalWFS,
     WellFoundedModel,
     least_model_positive,
     tp_operator,
     well_founded_model,
     well_founded_model_alternating,
+    well_founded_model_incremental,
     well_founded_model_naive,
     wp_operator,
 )
@@ -48,6 +55,8 @@ from .wfs import (
 __all__ = [
     "fitting_operator",
     "kripke_kleene_model",
+    "CondensationUpdate",
+    "IncrementalCondensation",
     "RuleIndex",
     "strongly_connected_components",
     "GroundProgram",
@@ -73,11 +82,13 @@ __all__ = [
     "is_unfounded_set",
     "possibly_true_atoms",
     "possibly_true_atoms_naive",
+    "IncrementalWFS",
     "WellFoundedModel",
     "least_model_positive",
     "tp_operator",
     "well_founded_model",
     "well_founded_model_alternating",
+    "well_founded_model_incremental",
     "well_founded_model_naive",
     "wp_operator",
 ]

@@ -26,6 +26,12 @@ this module provides the indexed substrate they all share now:
 * :func:`strongly_connected_components` — an iterative Tarjan SCC
   decomposition emitting components dependencies-first, so a component is
   evaluated only after every component it depends on.
+* :class:`IncrementalCondensation` — the same condensation maintained
+  *incrementally* as the index grows (the Datalog± engine's iterative
+  deepening only ever appends ground rules): new atoms join as singleton
+  components, order-consistent edge insertions are absorbed in O(1), and only
+  edges that violate the maintained topological order trigger a Tarjan rerun,
+  confined to the affected suffix of the component order.
 
 The index is deliberately ignorant of three-valued semantics: it stores the
 rule structure once and exposes raw propagation; the semantic modules decide
@@ -34,6 +40,7 @@ which rules are enabled and what a derived head means.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, Mapping, Optional, Sequence, TYPE_CHECKING
 
 from ..lang.atoms import Atom
@@ -42,7 +49,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (grounding imports us
     from ..lang.rules import NormalRule
     from .interpretation import Interpretation
 
-__all__ = ["RuleIndex", "strongly_connected_components"]
+__all__ = [
+    "RuleIndex",
+    "IncrementalCondensation",
+    "CondensationUpdate",
+    "strongly_connected_components",
+]
 
 #: Shared empty exclusion set for closures that exclude nothing.
 _EMPTY_IDS: frozenset[int] = frozenset()
@@ -542,3 +554,253 @@ def strongly_connected_components(
                         break
                 components.append(component)
     return components
+
+
+# ---------------------------------------------------------------------------
+# Incremental condensation maintenance (the deepening loop's SCC substrate)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CondensationUpdate:
+    """What one :meth:`IncrementalCondensation.refresh` changed.
+
+    Attributes
+    ----------
+    dirty:
+        Ids of the components whose well-founded solution can no longer be
+        trusted: newly created components (new atoms, or memberships changed
+        by a merge) and components that gained a rule (a new rule's head lies
+        inside them).  Value-change propagation to *dependents* of these
+        components is the caller's job — the condensation only knows
+        structure, not truth values.
+    removed:
+        Ids of components that no longer exist (their members were absorbed
+        into a merged component, which appears in *dirty*).
+    new_rules:
+        The ids of the index rules consumed by this refresh (a contiguous
+        range — the index is append-only).
+    """
+
+    dirty: frozenset
+    removed: frozenset
+    new_rules: range
+
+
+class IncrementalCondensation:
+    """The SCC condensation of a growing :class:`RuleIndex`, maintained in place.
+
+    The dependency graph is the one of
+    :meth:`RuleIndex.dependency_components_ids` — an edge from every rule head
+    to every atom of its body, positive and negative.  The maintained state is
+    the partition of the interned atoms into components plus a *topological
+    order* of the components (dependencies first: every component appears
+    after every component it can reach, the evaluation order of the
+    SCC-modular WFS).
+
+    :meth:`refresh` consumes the rules and atoms appended to the index since
+    the previous call:
+
+    * new atoms join as singleton components appended at the end of the order;
+    * a new dependency edge whose endpoints already respect the maintained
+      order (``position(body) < position(head)``) is absorbed without any
+      recomputation — it can close no cycle that the order does not already
+      rule out;
+    * edges that *violate* the order (possible when an existing atom gains a
+      rule over later-ordered atoms, e.g. a chase firing that was unlocked
+      late) trigger one Tarjan rerun confined to the **affected suffix** of
+      the order — the components at positions at or after the earliest
+      violating edge's head.  Any new cycle must turn around at an
+      order-violating edge, and every violating edge starts inside the
+      suffix, so components before it can neither merge nor change their
+      relative order; their ids, memberships and positions are untouched.
+
+    Components that survive a suffix rerun with identical membership keep
+    their id (and their cached solutions remain addressable); merged
+    memberships get fresh ids and are reported dirty.  On the pure
+    iterative-deepening pattern — new rules whose heads are new atoms over
+    older bodies — every insertion is order-consistent and a refresh costs
+    time proportional to the delta, not to the accumulated program.
+    """
+
+    __slots__ = (
+        "_index",
+        "_consumed_rules",
+        "_consumed_atoms",
+        "_comp_of",
+        "_members",
+        "_order",
+        "_positions",
+        "_next_id",
+        "tarjan_reruns",
+        "rerun_atom_total",
+    )
+
+    def __init__(self, index: RuleIndex):
+        self._index = index
+        self._consumed_rules = 0
+        self._consumed_atoms = 0
+        #: atom id -> component id
+        self._comp_of: list[int] = []
+        #: component id -> member atom ids
+        self._members: dict[int, tuple[int, ...]] = {}
+        #: component ids, dependencies first
+        self._order: list[int] = []
+        #: component id -> index into :attr:`_order`
+        self._positions: dict[int, int] = {}
+        self._next_id = 0
+        #: instrumentation: suffix Tarjan reruns performed / atoms they visited
+        self.tarjan_reruns = 0
+        self.rerun_atom_total = 0
+
+    # -- views -------------------------------------------------------------------
+
+    def order(self) -> tuple[int, ...]:
+        """The component ids, dependencies first."""
+        return tuple(self._order)
+
+    def members(self, component_id: int) -> tuple[int, ...]:
+        """The member atom ids of a component."""
+        return self._members[component_id]
+
+    def component_of_atom(self, atom_id: int) -> int:
+        """The id of the component containing *atom_id*."""
+        return self._comp_of[atom_id]
+
+    def components_ids(self) -> list[list[int]]:
+        """The condensation as atom-id components, dependencies first.
+
+        The same shape as :meth:`RuleIndex.dependency_components_ids`; the
+        partition is identical and the order is a valid dependencies-first
+        order (the orders themselves may differ — both are correct).
+        """
+        return [list(self._members[cid]) for cid in self._order]
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    # -- maintenance --------------------------------------------------------------
+
+    def refresh(self) -> CondensationUpdate:
+        """Fold the index's appended rules/atoms in; report what changed."""
+        index = self._index
+        first_rule = self._consumed_rules
+        total_rules = len(index)
+        total_atoms = index.atom_count()
+        new_rules = range(first_rule, total_rules)
+        new_atom_start = self._consumed_atoms
+        if first_rule == total_rules and new_atom_start == total_atoms:
+            return CondensationUpdate(frozenset(), frozenset(), new_rules)
+
+        comp_of, positions = self._comp_of, self._positions
+        known_before = set(self._members)
+        for atom_id in range(new_atom_start, total_atoms):
+            cid = self._next_id
+            self._next_id += 1
+            comp_of.append(cid)
+            self._members[cid] = (atom_id,)
+            positions[cid] = len(self._order)
+            self._order.append(cid)
+        self._consumed_atoms = total_atoms
+
+        # Find the earliest order violation among the delta edges.  Consistent
+        # edges (body strictly before head) need no work at all: the order
+        # remains valid and no new cycle can pass through them alone.
+        window_start: Optional[int] = None
+        for rule_id in new_rules:
+            head_comp = comp_of[index.head_id(rule_id)]
+            head_pos = positions[head_comp]
+            if window_start is not None and head_pos >= window_start:
+                continue  # already inside the window; cannot shrink it further
+            for atom_id in index.pos_ids(rule_id):
+                if positions[comp_of[atom_id]] > head_pos:
+                    window_start = head_pos
+                    break
+            else:
+                for atom_id in index.neg_ids(rule_id):
+                    if positions[comp_of[atom_id]] > head_pos:
+                        window_start = head_pos
+                        break
+        self._consumed_rules = total_rules
+
+        removed: frozenset = frozenset()
+        created: set[int] = set()
+        if window_start is not None:
+            # only components the caller has seen belong in `removed` — a
+            # singleton created and merged away within this same refresh was
+            # never observable
+            removed = self._recompute_suffix(window_start, created) & known_before
+
+        dirty = set(created)
+        for atom_id in range(new_atom_start, total_atoms):
+            dirty.add(comp_of[atom_id])
+        for rule_id in new_rules:
+            dirty.add(comp_of[index.head_id(rule_id)])
+        return CondensationUpdate(frozenset(dirty), removed, new_rules)
+
+    def _recompute_suffix(self, window_start: int, created: set[int]) -> frozenset:
+        """Tarjan on the components at order positions ``>= window_start``.
+
+        Every order-violating edge starts inside this suffix, and a cycle's
+        minimum-position component can only be left upward through a violating
+        edge, so every possible merge lies entirely within it; components
+        before the window keep ids, memberships and positions.  Edges leaving
+        the suffix (into the stable prefix) are dropped from the subgraph —
+        the prefix is unreachable-from and cannot participate in a cycle.
+        """
+        index = self._index
+        comp_of = self._comp_of
+        suffix_cids = self._order[window_start:]
+        region_atoms: set[int] = set()
+        for cid in suffix_cids:
+            region_atoms.update(self._members[cid])
+        self.tarjan_reruns += 1
+        self.rerun_atom_total += len(region_atoms)
+
+        graph: dict[int, list[int]] = {}
+        for atom_id in region_atoms:
+            successors: list[int] = []
+            for rule_id in index.rule_ids_for_head_id(atom_id):
+                for body_id in index.pos_ids(rule_id):
+                    if body_id in region_atoms:
+                        successors.append(body_id)
+                for body_id in index.neg_ids(rule_id):
+                    if body_id in region_atoms:
+                        successors.append(body_id)
+            graph[atom_id] = successors
+
+        new_tail: list[int] = []
+        for members in strongly_connected_components(graph):
+            old_cid = comp_of[members[0]]
+            existing = self._members.get(old_cid)
+            if (
+                existing is not None
+                and len(existing) == len(members)
+                and all(comp_of[atom_id] == old_cid for atom_id in members)
+            ):
+                new_tail.append(old_cid)
+                continue
+            cid = self._next_id
+            self._next_id += 1
+            created.add(cid)
+            self._members[cid] = tuple(members)
+            for atom_id in members:
+                comp_of[atom_id] = cid
+            new_tail.append(cid)
+
+        removed = frozenset(suffix_cids) - set(new_tail)
+        positions = self._positions
+        for cid in removed:
+            del self._members[cid]
+            del positions[cid]
+        del self._order[window_start:]
+        self._order.extend(new_tail)
+        for offset, cid in enumerate(new_tail, start=window_start):
+            positions[cid] = offset
+        return removed
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalCondensation({len(self._order)} components, "
+            f"{self._consumed_rules} rules consumed)"
+        )

@@ -110,6 +110,17 @@ class GroundProgram:
         """All ground rules, in insertion order."""
         return tuple(self._rules)
 
+    def rules_since(self, start: int) -> tuple[NormalRule, ...]:
+        """The rules appended at insertion positions ``>= start``.
+
+        The program is append-only, so ``rules_since(len(previous_view))`` is
+        exactly the delta between two observations — what the incremental
+        condensation/WFS machinery re-solves against, and what callers that
+        mirror the program elsewhere (benchmarks, differential tests) feed
+        forward per step.
+        """
+        return tuple(self._rules[start:])
+
     def rules_with_head(self, atom: Atom) -> Sequence[NormalRule]:
         """All rules whose head is exactly *atom*."""
         return self._by_head.get(atom, ())
@@ -315,6 +326,9 @@ class SemiNaiveGrounder:
         self.ground = GroundProgram()
         self.index = PredicateIndex()
         self.rounds = 0
+        #: insertion position of :attr:`ground` before the most recent
+        #: :meth:`run` call; ``delta_rules()`` returns everything after it
+        self._delta_start = 0
         self._delta: list[Atom] = []
         self._proper_rules: list[NormalRule] = []
 
@@ -347,6 +361,16 @@ class SemiNaiveGrounder:
         """``True`` iff the fixpoint was reached (no pending delta atoms)."""
         return not self._delta
 
+    def delta_rules(self) -> tuple[NormalRule, ...]:
+        """The ground rules produced by the most recent :meth:`run` call.
+
+        Budget-interrupted runs compose: a resumed :meth:`run` reports only
+        its own contribution, so a caller that folds every delta forward (the
+        incremental WFS layer, a mirrored program) sees each rule exactly
+        once.
+        """
+        return self.ground.rules_since(self._delta_start)
+
     def run(
         self,
         *,
@@ -359,8 +383,10 @@ class SemiNaiveGrounder:
         ``max_rounds`` bounds the *total* number of rounds across calls and
         ``max_atoms`` the size of the candidate index.  On budget exhaustion
         either a :class:`GroundingError` is raised (``raise_on_budget=True``)
-        or ``False`` is returned and the grounder stays resumable.
+        or ``False`` is returned and the grounder stays resumable.  The rules
+        this call produced are afterwards available as :meth:`delta_rules`.
         """
+        self._delta_start = len(self.ground)
         while self._delta:
             if max_rounds is not None and self.rounds + 1 > max_rounds:
                 if raise_on_budget:

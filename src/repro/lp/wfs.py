@@ -1,6 +1,9 @@
 """The well-founded semantics of finite ground normal programs (Sec. 2.6).
 
 Three constructions are implemented and cross-checked by the tests:
+(a fourth, :class:`IncrementalWFS` / :func:`well_founded_model_incremental`,
+re-solves a *growing* program across monotone rule additions and is pinned
+bit-identical to :func:`well_founded_model` by the incremental test suites):
 
 * :func:`well_founded_model` — the production path: the ground program's
   atom-level dependency graph is decomposed into strongly connected
@@ -37,19 +40,21 @@ possible support, which is exactly how the two closures below treat it.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Optional
 
 from ..lang.atoms import Atom, Literal
-from .fixpoint import RuleIndex
+from .fixpoint import IncrementalCondensation, RuleIndex
 from .grounding import GroundProgram
 from .interpretation import Interpretation
 from .unfounded import greatest_unfounded_set, possibly_true_atoms_naive
 
 __all__ = [
     "WellFoundedModel",
+    "IncrementalWFS",
     "tp_operator",
     "wp_operator",
     "well_founded_model",
+    "well_founded_model_incremental",
     "well_founded_model_naive",
     "well_founded_model_alternating",
     "least_model_positive",
@@ -179,6 +184,50 @@ def wp_operator(program: GroundProgram, interpretation: Interpretation) -> Inter
 # ---------------------------------------------------------------------------
 
 
+def _solve_component(
+    index: RuleIndex,
+    component: set[int],
+    rule_ids: list[int],
+    true_ids: set[int],
+    false_ids: set[int],
+) -> tuple[set[int], set[int], int]:
+    """Solve one condensation component, its dependencies already final.
+
+    Alternates the definite-consequence and possibly-true closures confined
+    to *component* until they stabilise (a single pass when the component has
+    no internal negation), extending the global ``true_ids``/``false_ids``
+    sets in place.  Returns the component's newly derived true and false ids
+    plus the number of alternation rounds.  This is the shared evaluation
+    core of :func:`well_founded_model` and :class:`IncrementalWFS` — one
+    implementation, so the incremental path can never drift from the
+    from-scratch one.
+    """
+    internal_negation = any(
+        atom_id in component
+        for rule_id in rule_ids
+        for atom_id in index.neg_ids(rule_id)
+    )
+    local_true: set[int] = set()
+    local_false: set[int] = set()
+    rounds = 0
+    while True:
+        rounds += 1
+        new_true = index.definite_closure_ids(rule_ids, component, true_ids, false_ids)
+        true_ids |= new_true
+        local_true |= new_true
+        possible = index.possible_closure_ids(rule_ids, component, true_ids, false_ids)
+        new_false = {
+            atom_id
+            for atom_id in component
+            if atom_id not in possible and atom_id not in false_ids
+        }
+        false_ids |= new_false
+        local_false |= new_false
+        if not internal_negation or (not new_true and not new_false):
+            break
+    return local_true, local_false, rounds
+
+
 def well_founded_model(program: GroundProgram) -> WellFoundedModel:
     """``WFS(P)`` by SCC-modular worklist evaluation.
 
@@ -211,27 +260,157 @@ def well_founded_model(program: GroundProgram) -> WellFoundedModel:
             for atom_id in component_ids
             for rule_id in index.rule_ids_for_head_id(atom_id)
         ]
-        internal_negation = any(
-            atom_id in component
-            for rule_id in rule_ids
-            for atom_id in index.neg_ids(rule_id)
+        _, _, component_rounds = _solve_component(
+            index, component, rule_ids, true_ids, false_ids
         )
-        while True:
-            rounds += 1
-            new_true = index.definite_closure_ids(rule_ids, component, true_ids, false_ids)
-            true_ids |= new_true
-            possible = index.possible_closure_ids(rule_ids, component, true_ids, false_ids)
-            new_false = {
-                atom_id
-                for atom_id in component
-                if atom_id not in possible and atom_id not in false_ids
-            }
-            false_ids |= new_false
-            if not internal_negation or (not new_true and not new_false):
-                break
+        rounds += component_rounds
 
     interpretation = Interpretation(index.atoms_of(true_ids), index.atoms_of(false_ids))
     return WellFoundedModel(interpretation, universe, iterations=rounds)
+
+
+# ---------------------------------------------------------------------------
+# Incremental evaluation across monotone program growth (iterative deepening)
+# ---------------------------------------------------------------------------
+
+
+class IncrementalWFS:
+    """The well-founded model of a *growing* ground program, re-solved lazily.
+
+    The Datalog± engine's iterative deepening only ever **adds** ground rules
+    to its :class:`~repro.lp.grounding.GroundProgram`; recomputing the full
+    SCC-modular model at every depth therefore redoes almost all of the
+    previous depth's work.  This solver keeps, across calls to :meth:`model`:
+
+    * an :class:`~repro.lp.fixpoint.IncrementalCondensation` of the program's
+      rule index (new rules are folded in, Tarjan reruns confined to the
+      affected suffix of the component order);
+    * the per-component solutions of the previous call (the component's true
+      and false atom ids) plus each component's *external inputs* — the body
+      atom ids outside the component whose final values its solution read.
+
+    A refresh re-solves, dependencies first, exactly the components the delta
+    can have touched: components reported dirty by the condensation (new
+    membership, or a new rule heading into them) and components one of whose
+    external inputs changed value — the change set is propagated along the
+    component order, so an unchanged re-solve stops the ripple.  Everything
+    else keeps its stored solution untouched.
+
+    Correctness is the same modularity ("splitting") argument that justifies
+    :func:`well_founded_model`: a component's restriction of the WFS is the
+    WFS of the component's rules with all lower components' final values
+    fixed.  A component whose membership, rule set and external input values
+    are all unchanged therefore has the *same* subproblem as at the previous
+    depth — its stored solution is the solution.  The incremental test suites
+    pin the resulting models bit-identical to the from-scratch path across
+    random programs, growth schedules and budget resumes.
+    """
+
+    def __init__(self, program: GroundProgram):
+        self._program = program
+        self._condensation = IncrementalCondensation(program.index())
+        #: component id -> (true atom ids, false atom ids) of its solution
+        self._solutions: dict[int, tuple[frozenset[int], frozenset[int]]] = {}
+        #: component id -> external body atom ids its solution depends on
+        self._inputs: dict[int, frozenset[int]] = {}
+        self._true_ids: set[int] = set()
+        self._false_ids: set[int] = set()
+        #: instrumentation for tests and the benchmark: component solves
+        #: performed / skipped by the most recent :meth:`model` call
+        self.last_resolved = 0
+        self.last_reused = 0
+
+    @property
+    def program(self) -> GroundProgram:
+        """The growing ground program this solver is bound to."""
+        return self._program
+
+    @property
+    def condensation(self) -> IncrementalCondensation:
+        """The incrementally maintained dependency condensation."""
+        return self._condensation
+
+    def model(self) -> WellFoundedModel:
+        """``WFS(P)`` for the program's current rule set (re-solving only dirty parts)."""
+        index = self._program.index()
+        update = self._condensation.refresh()
+        changed: set[int] = set()
+        for cid in update.removed:
+            solution = self._solutions.pop(cid, None)
+            if solution is not None:
+                # the merged successor re-solves and re-asserts these atoms;
+                # anything it no longer derives has genuinely changed value
+                self._true_ids -= solution[0]
+                self._false_ids -= solution[1]
+                changed |= solution[0] | solution[1]
+            self._inputs.pop(cid, None)
+
+        dirty = update.dirty
+        condensation = self._condensation
+        true_ids, false_ids = self._true_ids, self._false_ids
+        rounds = 0
+        resolved = reused = 0
+
+        for cid in condensation.order():
+            stored = self._solutions.get(cid)
+            resolve = stored is None or cid in dirty
+            if not resolve and changed:
+                inputs = self._inputs.get(cid)
+                resolve = inputs is not None and not changed.isdisjoint(inputs)
+            if not resolve:
+                reused += 1
+                continue
+            resolved += 1
+            component = set(condensation.members(cid))
+            rule_ids = [
+                rule_id
+                for atom_id in component
+                for rule_id in index.rule_ids_for_head_id(atom_id)
+            ]
+            if stored is not None:
+                true_ids -= stored[0]
+                false_ids -= stored[1]
+            local_true, local_false, component_rounds = _solve_component(
+                index, component, rule_ids, true_ids, false_ids
+            )
+            rounds += component_rounds
+            solution = (frozenset(local_true), frozenset(local_false))
+            if stored is None:
+                changed |= solution[0] | solution[1]
+            else:
+                changed |= (stored[0] ^ solution[0]) | (stored[1] ^ solution[1])
+            self._solutions[cid] = solution
+            self._inputs[cid] = frozenset(
+                atom_id
+                for rule_id in rule_ids
+                for atom_id in (*index.pos_ids(rule_id), *index.neg_ids(rule_id))
+                if atom_id not in component
+            )
+
+        self.last_resolved = resolved
+        self.last_reused = reused
+        interpretation = Interpretation(
+            index.atoms_of(true_ids), index.atoms_of(false_ids)
+        )
+        return WellFoundedModel(interpretation, self._program.atoms(), iterations=rounds)
+
+
+def well_founded_model_incremental(
+    program: GroundProgram, state: Optional[IncrementalWFS] = None
+) -> tuple[WellFoundedModel, IncrementalWFS]:
+    """``WFS(P)`` of a growing program, reusing the previous call's solutions.
+
+    Functional wrapper around :class:`IncrementalWFS` for callers that thread
+    state explicitly (the Datalog± engine's deepening schedule): pass the
+    state returned by the previous call — made against the *same* (since
+    grown) :class:`~repro.lp.grounding.GroundProgram` object — and only the
+    components the delta touched are re-solved.  With ``state=None`` (or a
+    state bound to a different program) the computation starts cold and is
+    equivalent to :func:`well_founded_model`.
+    """
+    if state is None or state.program is not program:
+        state = IncrementalWFS(program)
+    return state.model(), state
 
 
 def well_founded_model_naive(program: GroundProgram) -> WellFoundedModel:

@@ -158,3 +158,41 @@ def test_cache_is_schedule_independent(workload, initial_depth, depth_step):
     uncached = WellFoundedEngine(program, database, segment_cache=False, **options)
     cached = WellFoundedEngine(program, database, segment_cache=True, **options)
     assert chase_signature(cached) == chase_signature(uncached)
+
+
+@given(
+    workload=guarded_workloads(),
+    initial_depth=st.integers(min_value=1, max_value=4),
+    depth_step=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=40, **COMMON_SETTINGS)
+def test_cached_segment_keys_equal_recomputed_keys(
+    workload, initial_depth, depth_step
+):
+    """The per-label segment-key cache is invisible (PR 5 satellite).
+
+    ``_segment_key`` caches per label and is invalidated through the
+    side-label machinery whenever a new side-relevant label lands on a
+    label's terms; after any deepening schedule every cached key must equal
+    a from-scratch recomputation (``_segment_key_uncached``) against the
+    final forest.
+    """
+    program, database, _ = workload
+    clear_segment_stores()
+    engine = WellFoundedEngine(
+        program,
+        database,
+        initial_depth=initial_depth,
+        depth_step=depth_step,
+        max_depth=initial_depth + 3 * depth_step,
+        max_nodes=2_000,
+    )
+    try:
+        engine.model()
+    except GroundingError:
+        pass  # a partially expanded forest must satisfy the invariant too
+    chase = engine._chase
+    if chase.segment_store is None:
+        return  # cache declined (unguarded rules); nothing cached
+    for label in chase.forest.labels():
+        assert chase._segment_key(label) == chase._segment_key_uncached(label), label

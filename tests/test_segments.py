@@ -349,3 +349,150 @@ class TestCLISegmentCacheFlags:
         out = capsys.readouterr().out
         assert "# segment-cache:" in out
         assert "enabled=False" in out
+
+
+# ---------------------------------------------------------------------------
+# PR 5 satellites: unified splice placement, cold context-sensitive keys
+# ---------------------------------------------------------------------------
+
+
+# the canonical raw-forest identity (root label + rule path + depth/level),
+# shared with the agenda differential suite so every differential compares
+# the same notion of forest equality
+from test_chase_agenda import forest_signature as _chase_signature  # noqa: E402
+
+
+class TestUnifiedSplicePlacement:
+    """The memoised replay and the validated replay share one placement core.
+
+    ``_replay_memoised`` and ``_instantiate_segment`` both place derivations
+    exclusively through ``_place_one_derivation``; this differential pins
+    replayed ≡ instantiated ≡ underived forests, with the memo path proven to
+    actually run.
+    """
+
+    PROGRAM = """
+    scientist(X) -> exists Y isAuthorOf(X, Y).
+    isAuthorOf(X, Y) -> exists Z cites(Y, Z).
+    cites(Y, Z) -> article(Z).
+    scientist(john).
+    scientist(jane).
+    """
+
+    def _engines(self, depth=6):
+        program, database = parse_program(self.PROGRAM)
+        skolemized = skolemize_program(program)
+        store = SegmentStore("unified-splice-test")
+        recorder = GuardedChaseEngine(skolemized, database, segment_cache=store)
+        recorder.expand(depth)
+        return program, database, skolemized, store, recorder, depth
+
+    def test_memoised_equals_validated_equals_underived(self, monkeypatch):
+        program, database, skolemized, store, recorder, depth = self._engines()
+        expected = _chase_signature(recorder.forest)
+
+        # fast path: the recorder seeded replay memos, so this engine places
+        # subtrees through _replay_memoised
+        memoised = GuardedChaseEngine(skolemized, database, segment_cache=store)
+        memoised.expand(depth)
+        assert memoised.cache_stats["nodes_spliced"] > 0
+
+        # validated path: disable the memo lookups so the same splices run
+        # through _instantiate_segment's guard-matching replay
+        validated = GuardedChaseEngine(skolemized, database, segment_cache=store)
+        monkeypatch.setattr(
+            store, "replay_lookup", lambda key, root_label: None
+        )
+        validated.expand(depth)
+        assert validated.cache_stats["nodes_spliced"] > 0
+
+        # reference: no cache at all
+        underived = GuardedChaseEngine(skolemized, database, segment_cache=False)
+        underived.expand(depth)
+
+        assert _chase_signature(memoised.forest) == expected
+        assert _chase_signature(validated.forest) == expected
+        assert _chase_signature(underived.forest) == expected
+
+    def test_memo_path_actually_taken(self):
+        _, database, skolemized, store, recorder, depth = self._engines()
+        replayed = GuardedChaseEngine(skolemized, database, segment_cache=store)
+        calls = []
+        original = replayed._replay_memoised
+
+        def spy(root_id, memo, segment, max_depth):
+            result = original(root_id, memo, segment, max_depth)
+            calls.append(result is not None)
+            return result
+
+        replayed._replay_memoised = spy
+        replayed.expand(depth)
+        assert any(calls), "expected at least one successful memoised replay"
+        assert _chase_signature(replayed.forest) == _chase_signature(recorder.forest)
+
+
+class TestColdContextSensitiveKeys:
+    """A context that only materialises during saturation must still hit.
+
+    ``gate(X)`` is derived (not a database fact), so a fresh engine's lookup
+    key for ``start(c)`` has an empty context while the recording key carries
+    ``gate(c)`` — before the alias double-keying this was a guaranteed miss
+    on every fresh engine over the same program (ROADMAP "Context-sensitive
+    key hit-rate").
+    """
+
+    PROGRAM = """
+    start(X) -> gate(X).
+    start(X) -> exists Y step(X, Y).
+    step(X, Y), gate(X) -> good(Y).
+    start(c1).
+    start(c2).
+    """
+
+    def test_second_fresh_engine_hits_through_the_alias(self):
+        program, database = parse_program(self.PROGRAM)
+        skolemized = skolemize_program(program)
+        store = SegmentStore("cold-key-test")
+
+        first = GuardedChaseEngine(skolemized, database, segment_cache=store)
+        first.expand(4)
+        assert first.cache_stats["hits"] == 0  # everything is cold
+        assert store.stats()["aliases"] > 0  # cold keys were double-keyed
+
+        second = GuardedChaseEngine(skolemized, database, segment_cache=store)
+        second.expand(4)
+        assert second.cache_stats["hits"] > 0, "cold key must now hit"
+        assert second.cache_stats["nodes_spliced"] > 0
+        assert store.stats()["alias_hits"] > 0
+        assert _chase_signature(second.forest) == _chase_signature(first.forest)
+
+        uncached = GuardedChaseEngine(skolemized, database, segment_cache=False)
+        uncached.expand(4)
+        assert _chase_signature(second.forest) == _chase_signature(uncached.forest)
+
+    def test_alias_never_registered_for_incomparable_contexts(self):
+        """Aliasing requires lookup context ⊆ recorded context."""
+        store = SegmentStore("alias-guard-test")
+        store.record(("shape",), 2, ((0, 0),))
+        # a directly recorded key is never aliased away
+        store.record_alias(("other",), ("missing",))  # target absent: ignored
+        assert store.lookup(("other",)) is None
+        store.record_alias(("shape",), ("shape",))  # self-alias: ignored
+        assert store.stats()["aliases"] == 0
+
+    def test_alias_dropped_when_target_evicted(self):
+        store = SegmentStore("alias-evict-test", max_segments=1)
+        store.record(("target",), 2, ((0, 0),))
+        store.record_alias(("alias",), ("target",))
+        assert store.lookup(("alias",)) is not None
+        store.record(("other",), 2, ((0, 0),))  # evicts ("target",) (LRU=1)
+        assert store.lookup(("alias",)) is None  # lazily dropped
+        assert store.stats()["aliases"] == 0
+
+    def test_wellfounded_engine_end_to_end_warm(self):
+        engine_a = WellFoundedEngine(*parse_program(self.PROGRAM))
+        assert engine_a.holds("? good(Y)")
+        engine_b = WellFoundedEngine(*parse_program(self.PROGRAM))
+        assert engine_b.holds("? good(Y)")
+        stats = engine_b.segment_cache_stats()
+        assert stats["hits"] > 0, stats
