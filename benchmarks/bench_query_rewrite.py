@@ -111,11 +111,21 @@ def measure(sizes=None, *, repeats: int = 3) -> dict:
             probe.holds(negated) == probe.holds(negated, rewrite=True)
         )
 
+        # A multi-pattern probe reaching both reach^f and reach^b: adornment
+        # subsumption folds the bound copy into the free one, so the magic
+        # program carries one set of reach rules instead of two.
+        multi = f"? reach(X), reach(c0_{CHAIN_LENGTH})"
+        multi_equal = probe.holds(multi) == probe.holds(multi, rewrite=True)
+        multi_stats = probe.last_query_stats
+        answers_equal = answers_equal and multi_equal
+
         rows.append(
             {
                 "chains": chains,
                 "chain_length": CHAIN_LENGTH,
                 "db_facts": len(database),
+                "folded_adornments": multi_stats.get("folded_adornments", 0),
+                "multi_query_magic_rules": multi_stats.get("magic_rules", 0),
                 "classic_ground_rules": classic_ground,
                 "rewritten_ground_rules": stats["ground_rules"],
                 "reduction_ground_rules": classic_ground / stats["ground_rules"]
@@ -140,6 +150,7 @@ def measure(sizes=None, *, repeats: int = 3) -> dict:
         "largest_size": largest["chains"],
         "largest_size_reduction_ground_rules": largest["reduction_ground_rules"],
         "largest_size_speedup": largest["speedup_classic_over_rewritten"],
+        "largest_size_folded_adornments": largest["folded_adornments"],
         "all_answers_equal": all(row["answers_equal"] for row in rows),
     }
 

@@ -39,6 +39,7 @@ __all__ = [
     "win_move_game",
     "win_move_datalog_pm",
     "reachability_program",
+    "large_edb_reachability",
     "chain_reachability_workload",
     "combined_complexity_workload",
     "random_guarded_program",
@@ -247,6 +248,84 @@ def reachability_program(
             if source != target and rng.random() < edge_prob:
                 rules.append(NormalRule(Atom("edge", (Constant(source), Constant(target)))))
     return NormalProgram(rules)
+
+
+# ---------------------------------------------------------------------------
+# Columnar-grounding benchmark — a large EDB with a small reachable core
+# ---------------------------------------------------------------------------
+
+
+def large_edb_reachability(
+    num_facts: int,
+    *,
+    core_size: int = 128,
+    seed: int = 0,
+) -> tuple[NormalProgram, list[Atom]]:
+    """A reachability/ontology workload whose EDB dwarfs its derived core.
+
+    Returns the *rules* (a :class:`NormalProgram` without facts) and the EDB
+    as a separate atom list, ready to feed a grounding backend as
+    ``extra_atoms``:
+
+    * ``reach(X) ← source(X)``
+    * ``reach(Y) ← edge(X, Y), reach(X)``
+    * ``frontier(X) ← reach(X), edge(X, Y), not reach(Y)``
+    * ``unreachable(X) ← node(X), not reach(X)``
+
+    The EDB has exactly ``num_facts`` atoms: one ``source`` fact, a
+    deterministic chain of ``core_size - 1`` ``edge`` facts (the only part
+    reachable from the source), ``node`` facts for about a quarter of the
+    budget, and random background ``edge`` facts among *unreachable* nodes
+    for the rest.  The derived ``reach`` core therefore stays ``core_size``
+    atoms no matter how large the database grows — the regime where the
+    per-candidate tuple matcher pays its full per-predicate scan on every
+    deepening round while a columnar backend only probes hash indexes.
+    Deterministic given *seed*.
+    """
+    core_size = max(2, min(core_size, num_facts // 4))
+    x, y = Variable("X"), Variable("Y")
+    rules = [
+        NormalRule(Atom("reach", (x,)), (Atom("source", (x,)),), ()),
+        NormalRule(Atom("reach", (y,)), (Atom("edge", (x, y)), Atom("reach", (x,))), ()),
+        NormalRule(
+            Atom("frontier", (x,)),
+            (Atom("reach", (x,)), Atom("edge", (x, y))),
+            (Atom("reach", (y,)),),
+        ),
+        NormalRule(Atom("unreachable", (x,)), (Atom("node", (x,)),), (Atom("reach", (x,)),)),
+    ]
+
+    rng = random.Random(seed)
+    core = [Constant(f"k{i}") for i in range(core_size)]
+    facts: list[Atom] = [Atom("source", (core[0],))]
+    for left, right in zip(core, core[1:]):
+        facts.append(Atom("edge", (left, right)))
+
+    num_node_facts = num_facts // 4
+    remaining = num_facts - len(facts) - num_node_facts
+    # Background nodes are disjoint from the core and never pointed to from
+    # it, so no background edge can ever extend the reachable set.
+    num_background = max(2, min(remaining, 4 * int(remaining**0.5) + 2))
+    background = [f"b{i}" for i in range(num_background)]
+    edges: set[tuple[str, str]] = set()
+    while len(edges) < remaining:
+        source = rng.randrange(num_background)
+        target = rng.randrange(num_background)
+        if source != target:
+            edges.add((background[source], background[target]))
+    for left, right in sorted(edges):
+        facts.append(Atom("edge", (Constant(left), Constant(right))))
+    for name in core[: num_node_facts // 2] + [
+        Constant(b) for b in background[: num_node_facts - num_node_facts // 2]
+    ]:
+        facts.append(Atom("node", (name,)))
+    # Top the budget up with extra node facts over fresh isolated constants
+    # if the background pool was too small to absorb it.
+    index = 0
+    while len(facts) < num_facts:
+        facts.append(Atom("node", (Constant(f"iso{index}"),)))
+        index += 1
+    return NormalProgram(rules), facts
 
 
 # ---------------------------------------------------------------------------

@@ -134,6 +134,17 @@ def build_argument_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--backend",
+        choices=["tuple", "columnar", "sqlite"],
+        default="tuple",
+        help=(
+            "grounding backend for the magic-sets query path: the per-candidate "
+            "tuple matcher (default), bulk columnar hash joins over interned "
+            "ids, or the same join plans on an in-memory sqlite database; "
+            "ground programs and answers are identical across backends"
+        ),
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="print per-query grounding statistics (mode, ground-rule counts, fallbacks)",
@@ -184,6 +195,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             segment_cache=args.segment_cache,
             saturation=args.saturation,
             incremental=args.incremental,
+            backend=args.backend,
         )
         model = engine.model() if needs_model else None
     except ReproError as error:

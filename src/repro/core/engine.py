@@ -60,6 +60,7 @@ from ..lang.terms import Constant, Term
 from ..chase.engine import GuardedChaseEngine
 from ..chase.forest import ChaseForest
 from ..chase.types import AtomType
+from ..lp.columnar import BACKENDS
 from ..lp.grounding import GroundProgram
 from ..lp.interpretation import TruthValue
 from ..lp.wfs import (
@@ -256,6 +257,15 @@ class WellFoundedEngine:
         the from-scratch SCC-modular computation at every depth — the
         differential oracle the incremental test suites compare against.
         Models and answers are bit-identical either way.
+    backend:
+        Grounding backend for the magic-sets query path: ``"tuple"`` (default;
+        the per-candidate :class:`~repro.lp.grounding.SemiNaiveGrounder`,
+        retained verbatim as the differential oracle), ``"columnar"``
+        (:class:`~repro.lp.columnar.ColumnarGrounder` — bulk hash joins over
+        interned int columns), or ``"sqlite"`` (the same join plans executed
+        by an in-memory sqlite database).  Propagated to the relevance-pruned
+        fallback sub-engines and reported in :attr:`last_query_stats`; ground
+        programs, models and answers are identical across backends.
     """
 
     def __init__(
@@ -276,7 +286,12 @@ class WellFoundedEngine:
         saturation: str = "agenda",
         agenda_order=None,
         incremental: bool = True,
+        backend: str = "tuple",
     ):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown grounding backend {backend!r}; expected one of {BACKENDS}"
+            )
         if isinstance(program, str):
             program, parsed_facts = parse_program(program)
         else:
@@ -309,6 +324,7 @@ class WellFoundedEngine:
         self.saturation = saturation
         self.agenda_order = agenda_order
         self.incremental = incremental
+        self.backend = backend
         self._require_guarded = require_guarded
         self._skolem_args = skolem_args
         #: statistics of the most recent ``holds``/``answer`` call (see
@@ -344,6 +360,14 @@ class WellFoundedEngine:
         # keeps the previous depth's component solutions and re-solves only
         # the components the depth step's delta touched (None when disabled).
         self._wfs_state: Optional[IncrementalWFS] = None
+        # Frontier-type key cache (per label atom), valid while no model
+        # literal inside the label's term domain changed value.  The pending
+        # set accumulates the incremental solver's changed atoms between
+        # stabilisation checks; terms index which cached labels each atom
+        # change can possibly invalidate.
+        self._frontier_key_cache: dict[Atom, tuple] = {}
+        self._frontier_labels_by_term: dict = {}
+        self._frontier_pending_changed: set[Atom] = set()
 
     # -- public API --------------------------------------------------------------------
 
@@ -451,6 +475,7 @@ class WellFoundedEngine:
                 "segment_cache": self._chase.cache_stats["enabled"],
                 "nodes_spliced": self._chase.cache_stats["nodes_spliced"],
                 "incremental": self.incremental,
+                "backend": self.backend,
             }
             return model
 
@@ -471,13 +496,17 @@ class WellFoundedEngine:
         plan = rewrite_for_query(self.skolemized.rules(), literals, sips=self.sips)
         fallback_reason = plan.reason
         if plan.supported:
-            grounding = ground_magic(plan, self.database, max_atoms=self.max_nodes)
+            grounding = ground_magic(
+                plan, self.database, max_atoms=self.max_nodes, backend=self.backend
+            )
             if grounding.saturated:
                 stats = {
                     "mode": "magic",
                     "sips": plan.sips,
+                    "backend": self.backend,
                     "relevant_predicates": len(plan.relevant_predicates()),
                     "adorned_predicates": len(plan.adorned.reachable),
+                    "folded_adornments": plan.folded_adornments,
                     "magic_rules": plan.magic_rule_count,
                     "seconds": time.perf_counter() - started,
                     **grounding.stats(),
@@ -491,6 +520,7 @@ class WellFoundedEngine:
         stats = {
             "mode": "pruned-chase" if relevant_rules < len(self.program) else "full-chase",
             "sips": plan.sips,
+            "backend": self.backend,
             "fallback_reason": fallback_reason,
             "relevant_predicates": len(plan.relevant_predicates()),
             "rules_total": len(self.program),
@@ -533,6 +563,7 @@ class WellFoundedEngine:
                 saturation=self.saturation,
                 agenda_order=self.agenda_order,
                 incremental=self.incremental,
+                backend=self.backend,
             )
             self._pruned_engines[key] = sub_engine
             while len(self._pruned_engines) > _PRUNED_ENGINE_CACHE_SIZE:
@@ -651,6 +682,10 @@ class WellFoundedEngine:
         model, self._wfs_state = well_founded_model_incremental(
             ground, self._wfs_state
         )
+        # Accumulate (never overwrite) value changes so the frontier-type key
+        # cache sees every change since it was last consulted, even if the
+        # solver runs more than once in between.
+        self._frontier_pending_changed |= self._wfs_state.last_changed_atoms
         return model
 
     def _ground_program(self) -> GroundProgram:
@@ -677,37 +712,77 @@ class WellFoundedEngine:
         the current approximation: the node's label together with every
         defined literal whose arguments all occur among the label's arguments,
         canonicalised up to renaming of nulls (:class:`repro.chase.types.AtomType`).
+
+        Per-label keys are cached across deepening rounds when the
+        incremental solver is active: a label's key only depends on the
+        defined literals inside its term domain, so a cached key stays valid
+        until some atom sharing a term with the label (or a nullary atom)
+        changes truth value — exactly the change set
+        :class:`~repro.lp.wfs.IncrementalWFS` reports.  Labels repeat heavily
+        across frontiers (isomorphic subtrees), so on stabilising rounds the
+        whole check degenerates to cache lookups.
         """
         forest = self._chase.forest
         frontier = [n for n in forest.nodes() if n.depth == self._chase.depth_bound]
         if not frontier:
             return frozenset()
-        literals = model.literals()
 
-        # Index model literals by argument term so that the per-node type
-        # computation only inspects literals that can possibly lie inside the
-        # node's domain (instead of scanning the full model for every node).
-        literals_by_term: dict[Term, list[Literal]] = {}
-        nullary_literals: list[Literal] = []
-        for literal in literals:
-            args = literal.atom.args
-            if not args:
-                nullary_literals.append(literal)
-                continue
-            for term in set(args):
-                literals_by_term.setdefault(term, []).append(literal)
+        cache = self._frontier_key_cache
+        by_term = self._frontier_labels_by_term
+        use_cache = self.incremental and self._wfs_state is not None
+        if use_cache:
+            pending = self._frontier_pending_changed
+            self._frontier_pending_changed = set()
+            for atom in pending:
+                if not atom.args:
+                    # a nullary literal lies in every label's domain
+                    cache.clear()
+                    by_term.clear()
+                    break
+                for term in set(atom.args):
+                    for label in by_term.pop(term, ()):
+                        cache.pop(label, None)
+        elif cache:
+            cache.clear()
+            by_term.clear()
 
-        def type_key(label: Atom) -> tuple:
-            domain = set(label.args)
-            candidates: set[Literal] = set(nullary_literals)
-            for term in domain:
-                candidates.update(literals_by_term.get(term, ()))
-            selected = frozenset(
-                lit for lit in candidates if set(lit.atom.args) <= domain
-            )
-            return AtomType(label, selected).key()
+        labels = {node.label for node in frontier}
+        keys: dict[Atom, tuple] = {
+            label: cache[label] for label in labels if label in cache
+        }
+        missing = [label for label in labels if label not in keys]
+        if missing:
+            literals = model.literals()
 
-        return frozenset(type_key(node.label) for node in frontier)
+            # Index model literals by argument term so that the per-node type
+            # computation only inspects literals that can possibly lie inside
+            # the node's domain (instead of scanning the full model per node).
+            literals_by_term: dict[Term, list[Literal]] = {}
+            nullary_literals: list[Literal] = []
+            for literal in literals:
+                args = literal.atom.args
+                if not args:
+                    nullary_literals.append(literal)
+                    continue
+                for term in set(args):
+                    literals_by_term.setdefault(term, []).append(literal)
+
+            for label in missing:
+                domain = set(label.args)
+                candidates: set[Literal] = set(nullary_literals)
+                for term in domain:
+                    candidates.update(literals_by_term.get(term, ()))
+                selected = frozenset(
+                    lit for lit in candidates if set(lit.atom.args) <= domain
+                )
+                key = AtomType(label, selected).key()
+                keys[label] = key
+                if use_cache:
+                    cache[label] = key
+                    for term in domain:
+                        by_term.setdefault(term, set()).add(label)
+
+        return frozenset(keys.values())
 
     def _stabilised(
         self,

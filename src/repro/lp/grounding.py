@@ -63,6 +63,7 @@ class GroundProgram:
         self._seen: set[NormalRule] = set()
         self._by_head: dict[Atom, list[NormalRule]] = {}
         self._atoms: set[Atom] = set()
+        self._atoms_frozen: Optional[frozenset[Atom]] = None
         self._index: Optional[RuleIndex] = None
         for rule in rules:
             self.add(rule)
@@ -84,9 +85,13 @@ class GroundProgram:
         self._seen.add(rule)
         self._rules.append(rule)
         self._by_head.setdefault(rule.head, []).append(rule)
-        self._atoms.add(rule.head)
-        self._atoms.update(rule.body_pos)
-        self._atoms.update(rule.body_neg)
+        atoms = self._atoms
+        before = len(atoms)
+        atoms.add(rule.head)
+        atoms.update(rule.body_pos)
+        atoms.update(rule.body_neg)
+        if len(atoms) != before:
+            self._atoms_frozen = None
         if self._index is not None:
             self._index.add_rule(rule)
 
@@ -130,8 +135,15 @@ class GroundProgram:
         return set(self._by_head)
 
     def atoms(self) -> frozenset[Atom]:
-        """The relevant universe: every atom occurring in some rule."""
-        return frozenset(self._atoms)
+        """The relevant universe: every atom occurring in some rule.
+
+        Cached between :meth:`add` calls that introduce new atoms, so the
+        per-depth model snapshots of iterative deepening share one frozenset
+        instead of rebuilding an O(atoms) copy each time.
+        """
+        if self._atoms_frozen is None:
+            self._atoms_frozen = frozenset(self._atoms)
+        return self._atoms_frozen
 
     def index(self) -> RuleIndex:
         """The program's worklist :class:`~repro.lp.fixpoint.RuleIndex`.
@@ -418,6 +430,7 @@ def relevant_grounding(
     *,
     max_rounds: Optional[int] = None,
     max_atoms: Optional[int] = None,
+    backend: str = "tuple",
 ) -> GroundProgram:
     """Relevant (intelligent) grounding of a normal program, semi-naively.
 
@@ -444,8 +457,16 @@ def relevant_grounding(
         Safety budgets for programs with function symbols, whose relevant
         grounding may be infinite.  Exceeding a budget raises
         :class:`GroundingError`.
+    backend:
+        Grounding executor: ``"tuple"`` (this module's per-candidate matcher),
+        ``"columnar"`` or ``"sqlite"`` (bulk relational delta joins; see
+        :mod:`repro.lp.columnar`).  The resulting programs are equal as rule
+        sets for every backend.
     """
-    grounder = SemiNaiveGrounder(program, extra_atoms)
+    # Imported here: repro.lp.columnar builds on this module's primitives.
+    from .columnar import make_grounder
+
+    grounder = make_grounder(program, extra_atoms, backend=backend)
     grounder.run(max_rounds=max_rounds, max_atoms=max_atoms, raise_on_budget=True)
     return grounder.ground
 

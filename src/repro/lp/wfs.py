@@ -315,10 +315,19 @@ class IncrementalWFS:
         self._inputs: dict[int, frozenset[int]] = {}
         self._true_ids: set[int] = set()
         self._false_ids: set[int] = set()
+        #: atom-space mirrors of the id sets, updated from per-component
+        #: deltas so a depth step never re-translates the untouched bulk
+        self._true_atoms: set = set()
+        self._false_atoms: set = set()
+        self._cached_model: Optional[WellFoundedModel] = None
         #: instrumentation for tests and the benchmark: component solves
         #: performed / skipped by the most recent :meth:`model` call
         self.last_resolved = 0
         self.last_reused = 0
+        #: atoms whose truth value changed in the most recent :meth:`model`
+        #: call (empty on a no-change step); consumers such as the engine's
+        #: frontier-type cache invalidate exactly these
+        self.last_changed_atoms: frozenset = frozenset()
 
     @property
     def program(self) -> GroundProgram:
@@ -334,6 +343,14 @@ class IncrementalWFS:
         """``WFS(P)`` for the program's current rule set (re-solving only dirty parts)."""
         index = self._program.index()
         update = self._condensation.refresh()
+        if not update.dirty and not update.removed and self._cached_model is not None:
+            # No new rules reached any component, so no solution can change
+            # (a genuinely new rule always dirties its head's component) and
+            # the universe is unchanged: the previous model *is* the model.
+            self.last_resolved = 0
+            self.last_reused = len(self._solutions)
+            self.last_changed_atoms = frozenset()
+            return self._cached_model
         changed: set[int] = set()
         for cid in update.removed:
             solution = self._solutions.pop(cid, None)
@@ -342,6 +359,8 @@ class IncrementalWFS:
                 # anything it no longer derives has genuinely changed value
                 self._true_ids -= solution[0]
                 self._false_ids -= solution[1]
+                self._true_atoms -= index.atoms_of(solution[0])
+                self._false_atoms -= index.atoms_of(solution[1])
                 changed |= solution[0] | solution[1]
             self._inputs.pop(cid, None)
 
@@ -370,10 +389,14 @@ class IncrementalWFS:
             if stored is not None:
                 true_ids -= stored[0]
                 false_ids -= stored[1]
+                self._true_atoms -= index.atoms_of(stored[0])
+                self._false_atoms -= index.atoms_of(stored[1])
             local_true, local_false, component_rounds = _solve_component(
                 index, component, rule_ids, true_ids, false_ids
             )
             rounds += component_rounds
+            self._true_atoms |= index.atoms_of(local_true)
+            self._false_atoms |= index.atoms_of(local_false)
             solution = (frozenset(local_true), frozenset(local_false))
             if stored is None:
                 changed |= solution[0] | solution[1]
@@ -389,10 +412,15 @@ class IncrementalWFS:
 
         self.last_resolved = resolved
         self.last_reused = reused
-        interpretation = Interpretation(
-            index.atoms_of(true_ids), index.atoms_of(false_ids)
+        self.last_changed_atoms = frozenset(index.atoms_of(changed))
+        # The mirrors already hold the atom translation; Interpretation's
+        # constructor copies them, so the model is a stable snapshot.
+        interpretation = Interpretation(self._true_atoms, self._false_atoms)
+        model = WellFoundedModel(
+            interpretation, self._program.atoms(), iterations=rounds
         )
-        return WellFoundedModel(interpretation, self._program.atoms(), iterations=rounds)
+        self._cached_model = model
+        return model
 
 
 def well_founded_model_incremental(

@@ -42,15 +42,16 @@ flagged ``supported=False`` and the engine falls back to the unrewritten
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from ..lang.atoms import Atom, Literal
 from ..lang.program import NormalProgram
 from ..lang.rules import NormalRule
 from ..lang.terms import Term, Variable, variables_of
+from ..lp.columnar import make_grounder
 from ..lp.fixpoint import strongly_connected_components
-from ..lp.grounding import GroundProgram, SemiNaiveGrounder
+from ..lp.grounding import GroundProgram
 from .adornment import AdornedProgram, Adornment, adorn
 from .sips import SIPSStrategy, sips_strategy
 
@@ -105,16 +106,34 @@ class MagicPlan:
     seed_count: int = 0
     magic_rule_count: int = 0
     gated_rule_count: int = 0
+    #: DLV-style adornment subsumption: each reachable ``(predicate,
+    #: adornment)`` maps to the most general reachable adornment whose bound
+    #: positions it covers (itself when nothing more general is reachable).
+    #: The rewriting is emitted over representatives only.
+    representatives: "dict[tuple[str, Adornment], Adornment]" = field(
+        default_factory=dict
+    )
+    #: reachable adornments folded into a strictly more general representative
+    folded_adornments: int = 0
 
     def relevant_predicates(self) -> frozenset[str]:
         """Predicates reachable from the query (valid even when unsupported)."""
         return self.adorned.relevant_predicates()
 
     def adornments_by_predicate(self) -> dict[str, list[Adornment]]:
-        """Reachable adornments grouped by predicate (for cover tests)."""
+        """Representative adornments grouped by predicate (for cover tests).
+
+        Only representative adornments have magic predicates in the emitted
+        program, so cover tests (e.g. the database-fact filter of
+        :func:`ground_magic`) must look these up, not the raw reachable set.
+        """
         grouped: dict[str, list[Adornment]] = {}
-        for predicate, adornment in self.adorned.reachable:
-            grouped.setdefault(predicate, []).append(adornment)
+        for key in self.adorned.reachable:
+            predicate, adornment = key
+            adornment = self.representatives.get(key, adornment)
+            bucket = grouped.setdefault(predicate, [])
+            if adornment not in bucket:
+                bucket.append(adornment)
         return grouped
 
     def __repr__(self) -> str:
@@ -193,6 +212,38 @@ def _unsupported_reason(
     return _weak_acyclicity_violation(relevant_rules)
 
 
+def _fold_adornments(
+    adorned: AdornedProgram,
+) -> dict[tuple[str, Adornment], Adornment]:
+    """DLV-style adornment subsumption over the reachable adorned predicates.
+
+    When both ``p^bb`` and ``p^bf`` are reachable, emitting magic machinery
+    for both duplicates every rule of ``p`` per adornment.  Each reachable
+    adornment is therefore mapped to the most general reachable adornment of
+    the same predicate whose bound positions it *covers* (fewest bound
+    positions, adornment string as the deterministic tie-break) — ``p^bb``
+    folds into ``p^bf``, which folds into ``p^ff`` when that is reachable too.
+    Folding towards the more general side is the sound direction: the coarser
+    magic predicate covers a superset of atoms, and its full grounding cost is
+    already being paid (it is reachable), so dropping the specialised copies
+    removes duplicate rules without shrinking the cover.  The map is
+    idempotent: a representative's candidate set is a subset of every
+    adornment it represents, so nothing more general can be left for it.
+    """
+    by_predicate: dict[tuple[str, int], list[Adornment]] = {}
+    for predicate, adornment in adorned.reachable:
+        by_predicate.setdefault((predicate, adornment.arity), []).append(adornment)
+    representative: dict[tuple[str, Adornment], Adornment] = {}
+    for (predicate, _), adornments in by_predicate.items():
+        for adornment in adornments:
+            bound = set(adornment.bound_positions())
+            representative[(predicate, adornment)] = min(
+                (a for a in adornments if set(a.bound_positions()) <= bound),
+                key=lambda a: (len(a.bound_positions()), str(a)),
+            )
+    return representative
+
+
 def rewrite_for_query(
     rules: Iterable[NormalRule],
     query: Sequence[Literal],
@@ -204,6 +255,12 @@ def rewrite_for_query(
     Returns a :class:`MagicPlan`; when ``plan.supported`` is ``False`` the
     plan still carries the adornment/relevance information so callers can fall
     back to a relevance-pruned unrewritten evaluation.
+
+    Reachable adornments are first folded by subsumption
+    (:func:`_fold_adornments`): magic seeds, magic rules and gated rules are
+    emitted for *representative* adornments only, with every call's adornment
+    mapped through the fold — multi-pattern queries that reach both ``p^bf``
+    and ``p^bb`` get one set of ``p`` rules instead of two.
     """
     strategy = sips_strategy(sips)
     rules = list(rules)
@@ -221,12 +278,19 @@ def rewrite_for_query(
         plan.reason = reason
         return plan
 
+    representative = _fold_adornments(adorned)
+    plan.representatives = representative
+    plan.folded_adornments = sum(
+        1 for key, rep in representative.items() if key[1] != rep
+    )
+
     program = NormalProgram()
     negative_context: list[NormalRule] = []
 
     # -- seeds and magic rules from the query body ---------------------------
     for call in adorned.query_calls:
-        magic_head = _magic_atom(call.predicate, call.adornment, call.atom.args)
+        adornment = representative[(call.predicate, call.adornment)]
+        magic_head = _magic_atom(call.predicate, adornment, call.atom.args)
         magic_rule = NormalRule(magic_head, call.step.prefix, ())
         if magic_rule not in program:
             program.add(magic_rule)
@@ -240,9 +304,13 @@ def rewrite_for_query(
     # -- magic rules and gated rules from the adorned program ----------------
     for adorned_rule in adorned.adorned_rules:
         rule = adorned_rule.rule
+        head_key = (rule.head.predicate, adorned_rule.adornment)
+        if representative[head_key] != adorned_rule.adornment:
+            continue  # a more general reachable adornment carries these rules
         gate = _magic_atom(rule.head.predicate, adorned_rule.adornment, rule.head.args)
         for call in adorned_rule.calls:
-            magic_head = _magic_atom(call.predicate, call.adornment, call.atom.args)
+            adornment = representative[(call.predicate, call.adornment)]
+            magic_head = _magic_atom(call.predicate, adornment, call.atom.args)
             magic_rule = NormalRule(magic_head, (gate, *call.step.prefix), ())
             if magic_rule not in program:
                 plan.magic_rule_count += 1
@@ -298,6 +366,7 @@ def ground_magic(
     *,
     max_rounds: Optional[int] = None,
     max_atoms: Optional[int] = None,
+    backend: str = "tuple",
 ) -> MagicGrounding:
     """Ground the gated magic program semi-naively and strip the magic guards.
 
@@ -306,11 +375,17 @@ def ground_magic(
     :class:`~repro.lp.grounding.SemiNaiveGrounder`'s but never raise — a
     budget hit is reported as ``saturated=False`` and the caller is expected
     to fall back to unrewritten evaluation.
+
+    ``backend`` selects the grounding executor (see
+    :func:`~repro.lp.columnar.make_grounder`).  Under the columnar backends
+    the magic guard — always the first positive body atom of a gated rule —
+    drives the first hash probe of every join plan, so the guard's bound
+    columns act as a semi-join filter over the gated relation.
     """
     if plan.program is None:
         raise ValueError(f"plan is not supported ({plan.reason}); cannot ground it")
     database = list(database)
-    grounder = SemiNaiveGrounder(plan.program, database)
+    grounder = make_grounder(plan.program, database, backend=backend)
     saturated = grounder.run(
         max_rounds=max_rounds, max_atoms=max_atoms, raise_on_budget=False
     )

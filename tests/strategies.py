@@ -11,7 +11,9 @@ import random
 
 from hypothesis import strategies as st
 
+from repro.bench.generators import random_guarded_program
 from repro.lang.atoms import Atom
+from repro.lang.program import NormalProgram
 from repro.lang.rules import NormalRule
 from repro.lang.terms import Constant, FunctionTerm, Variable
 from repro.lp.grounding import GroundProgram
@@ -25,6 +27,8 @@ __all__ = [
     "ground_atoms",
     "prop_atoms",
     "ground_programs",
+    "safe_normal_workloads",
+    "guarded_workloads",
     "agenda_orderings",
 ]
 
@@ -84,6 +88,81 @@ def ground_programs(draw):
     for _ in range(num_facts):
         rules.append(NormalRule(draw(prop_atoms)))
     return GroundProgram(rules)
+
+
+#: Small predicate space shared by the grounder-level differential tests.
+_WORKLOAD_PREDICATES = [("p", 1), ("q", 2), ("r", 1), ("e", 2)]
+
+
+@st.composite
+def safe_normal_workloads(draw):
+    """A random small *safe* non-ground normal program plus a ground EDB.
+
+    Heads only use variables bound in the positive body (or constants, or a
+    function term over those), negative bodies likewise — the safety regime
+    every grounding backend must handle; the EDB is returned separately so it
+    can be fed to a grounder as ``extra_atoms``.  Function-term heads are
+    restricted to single-atom bodies: with a wider body the tuple oracle can
+    observe its own emissions while still enumerating the same rule pass and
+    derive an unbounded function-symbol chain *within one round*, where no
+    ``max_rounds`` budget can interrupt it.
+    """
+    rules = []
+    for _ in range(draw(st.integers(min_value=1, max_value=5))):
+        body_pos = []
+        for _ in range(draw(st.integers(min_value=1, max_value=2))):
+            name, arity = draw(st.sampled_from(_WORKLOAD_PREDICATES))
+            args = tuple(draw(constants | variables) for _ in range(arity))
+            body_pos.append(Atom(name, args))
+        bound = sorted(
+            {t for atom in body_pos for t in atom.args if isinstance(t, Variable)},
+            key=str,
+        )
+        safe_terms = st.sampled_from([Constant(n) for n in "abcde"] + bound)
+        head_terms = safe_terms
+        if len(body_pos) == 1:
+            head_terms = safe_terms | st.builds(
+                FunctionTerm,
+                st.sampled_from(["f", "g"]),
+                st.lists(safe_terms, min_size=1, max_size=2).map(tuple),
+            )
+        name, arity = draw(st.sampled_from(_WORKLOAD_PREDICATES))
+        head = Atom(name, tuple(draw(head_terms) for _ in range(arity)))
+        body_neg = []
+        if draw(st.booleans()):
+            name, arity = draw(st.sampled_from(_WORKLOAD_PREDICATES))
+            body_neg.append(Atom(name, tuple(draw(safe_terms) for _ in range(arity))))
+        rules.append(NormalRule(head, tuple(body_pos), tuple(body_neg)))
+    edb = []
+    for _ in range(draw(st.integers(min_value=0, max_value=8))):
+        name, arity = draw(st.sampled_from(_WORKLOAD_PREDICATES))
+        edb.append(Atom(name, tuple(draw(ground_terms) for _ in range(arity))))
+    return NormalProgram(rules), edb
+
+
+@st.composite
+def guarded_workloads(draw):
+    """A random guarded Datalog± workload (program + database).
+
+    Shared by the incremental-engine and columnar-backend property suites:
+    the engine observables must be invariant under every (schedule ×
+    configuration) combination, so the same workload space exercises both.
+    """
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    num_predicates = draw(st.integers(min_value=1, max_value=3))
+    num_rules = draw(st.integers(min_value=2, max_value=5))
+    negation_prob = draw(st.sampled_from([0.0, 0.4, 0.8]))
+    existential_prob = draw(st.sampled_from([0.0, 0.4, 0.8]))
+    return random_guarded_program(
+        num_predicates,
+        2,
+        num_rules,
+        negation_prob=negation_prob,
+        existential_prob=existential_prob,
+        num_constants=3,
+        num_facts=8,
+        seed=seed,
+    )
 
 
 @st.composite

@@ -15,7 +15,6 @@ from __future__ import annotations
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.bench.generators import random_guarded_program
 from repro.chase.segments import clear_segment_stores
 from repro.core.engine import WellFoundedEngine
 from repro.exceptions import GroundingError
@@ -23,7 +22,7 @@ from repro.lp.fixpoint import IncrementalCondensation
 from repro.lp.grounding import GroundProgram
 from repro.lp.wfs import well_founded_model, well_founded_model_incremental
 
-from strategies import ground_programs
+from strategies import ground_programs, guarded_workloads
 
 COMMON_SETTINGS = dict(
     deadline=None,
@@ -102,26 +101,6 @@ def test_incremental_wfs_equals_scratch_at_every_step(chunks):
 # ---------------------------------------------------------------------------
 # Engine level: the deepening schedule is the growth schedule
 # ---------------------------------------------------------------------------
-
-
-@st.composite
-def guarded_workloads(draw):
-    """A random guarded Datalog± workload (as in test_agenda_properties)."""
-    seed = draw(st.integers(min_value=0, max_value=10_000))
-    num_predicates = draw(st.integers(min_value=1, max_value=3))
-    num_rules = draw(st.integers(min_value=2, max_value=5))
-    negation_prob = draw(st.sampled_from([0.0, 0.4, 0.8]))
-    existential_prob = draw(st.sampled_from([0.0, 0.4, 0.8]))
-    return random_guarded_program(
-        num_predicates,
-        2,
-        num_rules,
-        negation_prob=negation_prob,
-        existential_prob=existential_prob,
-        num_constants=3,
-        num_facts=8,
-        seed=seed,
-    )
 
 
 def observable_state(engine: WellFoundedEngine):
