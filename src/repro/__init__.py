@@ -24,6 +24,7 @@ Sub-packages
 ``repro.chase``  guarded chase forests, atom types, locality machinery
 ``repro.core``   the paper's contribution: WFS for guarded normal Datalog±
 ``repro.rewrite`` magic-sets query-driven rewriting for goal-directed answering
+``repro.views``  materialized-view maintenance (DRed/counting) over warm state
 ``repro.dl``     DL-Lite_{R,⊓,not} front-end translated to Datalog±
 ``repro.bench``  workload generators and the measurement harness
 """
@@ -136,6 +137,7 @@ __all__ = [
     "well_founded_model_alternating",
     "well_founded_model_naive",
     # lazily re-exported flagships (see __getattr__)
+    "MaterializedEngine",
     "WellFoundedEngine",
     "answer_query",
     "holds_under_wfs",
@@ -172,6 +174,10 @@ def __getattr__(name: str):
         from . import core
 
         return getattr(core, name)
+    if name == "MaterializedEngine":
+        from . import views
+
+        return views.MaterializedEngine
     if name in (
         "SegmentStore",
         "shared_segment_store",

@@ -33,7 +33,7 @@ from typing import Optional, Sequence
 from .core.engine import WellFoundedEngine
 from .core.stratified import StratifiedDatalogPM
 from .exceptions import NotStratifiedError, ReproError
-from .lang.parser import parse_atom, parse_database, parse_program
+from .lang.parser import parse_atom, parse_database, parse_program, parse_query
 
 __all__ = ["build_argument_parser", "main"]
 
@@ -136,18 +136,41 @@ def build_argument_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--backend",
         choices=["tuple", "columnar", "sqlite"],
-        default="tuple",
+        default="columnar",
         help=(
-            "grounding backend for the magic-sets query path: the per-candidate "
-            "tuple matcher (default), bulk columnar hash joins over interned "
-            "ids, or the same join plans on an in-memory sqlite database; "
-            "ground programs and answers are identical across backends"
+            "grounding backend for the magic-sets query path and --updates "
+            "maintenance: bulk columnar hash joins over interned ids "
+            "(default), the per-candidate tuple matcher, or the same join "
+            "plans on an in-memory sqlite database; ground programs and "
+            "answers are identical across backends"
         ),
     )
     parser.add_argument(
         "--verbose",
         action="store_true",
         help="print per-query grounding statistics (mode, ground-rule counts, fallbacks)",
+    )
+    parser.add_argument(
+        "--updates",
+        metavar="FILE",
+        default=None,
+        help=(
+            "replay an update script against a warm materialized view "
+            "(repro.views.MaterializedEngine) instead of a one-shot engine: "
+            "each line is '+ fact.' (insert), '- fact.' (retract) or "
+            "'? query' (answer against the maintained well-founded model); "
+            "'%%'/'#' start comments.  --query/--atom/--dump-model then "
+            "report against the final maintained state"
+        ),
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "with --updates: after every update, rebuild the model from "
+            "scratch and verify the maintained model is identical "
+            "(differential oracle; slow, for debugging and CI)"
+        ),
     )
     return parser
 
@@ -171,10 +194,117 @@ def _read(path: str) -> str:
         raise SystemExit(f"error: cannot read {path}: {error}") from error
 
 
+def _truth(model, atom) -> str:
+    """Three-valued truth of a ground atom in an lp-layer model."""
+    if model.is_true(atom):
+        return "true"
+    if model.is_false(atom):
+        return "false"
+    return "undefined"
+
+
+def _run_updates(args) -> int:
+    """Replay an update script against a warm :class:`MaterializedEngine`.
+
+    Script syntax, one statement per line (``%``/``#`` start comments)::
+
+        + edge(a, b).      % insert a fact
+        - edge(a, b).      % retract a fact
+        ? reach(X)         % answer against the maintained model
+
+    The engine stays warm across the whole script: each update grounds and
+    re-solves only what it touched.  With ``--check`` the maintained model is
+    verified against a from-scratch rebuild after every update.
+    """
+    from .views import MaterializedEngine
+
+    program, database = parse_program(_read(args.program))
+    if args.database:
+        extra = parse_database(_read(args.database))
+        database = database.copy()
+        database.update(extra)
+    engine = MaterializedEngine(program, database, backend=args.backend)
+    exit_code = 0
+
+    def check(context: str) -> None:
+        nonlocal exit_code
+        if args.check and engine.model() != engine.scratch_model():
+            print(f"# CHECK FAILED {context}", file=sys.stderr)
+            exit_code = 3
+
+    check("after init")
+    for lineno, raw in enumerate(_read(args.updates).splitlines(), start=1):
+        line = raw.split("%", 1)[0].split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            if line[0] in "+-":
+                atom = parse_atom(line[1:].strip().rstrip("."))
+                if line[0] == "+":
+                    stats = engine.add_facts(atom)
+                else:
+                    stats = engine.retract_facts(atom)
+                if args.verbose:
+                    print(f"# {line[0]}{atom} {_format_query_stats(stats)}")
+                check(f"after line {lineno}: {line}")
+            elif line[0] == "?":
+                query = parse_query(line)
+                if query.variables() and not query.negative:
+                    answers = engine.answer(query)
+                    rendered = sorted(
+                        "(" + ", ".join(str(t) for t in tup) + ")"
+                        for tup in answers
+                    )
+                    print(f"{line} : {' '.join(rendered) if rendered else 'no answers'}")
+                else:
+                    print(f"{line} : {'yes' if engine.holds(query) else 'no'}")
+            else:
+                print(
+                    f"error: line {lineno}: expected '+fact.', '-fact.' or "
+                    f"'? query', got {line!r}",
+                    file=sys.stderr,
+                )
+                exit_code = 2
+        except ReproError as error:
+            print(f"error: line {lineno}: {error}", file=sys.stderr)
+            exit_code = 2
+
+    model = engine.model()
+    for text in args.query:
+        try:
+            print(f"{text} : {'yes' if engine.holds(text) else 'no'}")
+        except ReproError as error:
+            print(f"error in query {text!r}: {error}", file=sys.stderr)
+            exit_code = 2
+    for text in args.atom:
+        try:
+            print(f"{text} : {_truth(model, parse_atom(text))}")
+        except ReproError as error:
+            print(f"error in atom {text!r}: {error}", file=sys.stderr)
+            exit_code = 2
+    if args.verbose:
+        print(f"# view: {_format_query_stats(engine.total_stats)}")
+    if args.dump_model:
+        for atom in sorted(model.true_atoms(), key=lambda a: a.sort_key()):
+            print(f"true   {atom}")
+        for atom in sorted(model.false_atoms(), key=lambda a: a.sort_key()):
+            print(f"false  {atom}")
+        for atom in sorted(model.undefined_atoms(), key=lambda a: a.sort_key()):
+            print(f"undef  {atom}")
+    return exit_code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro``; returns the process exit code."""
     parser = build_argument_parser()
     args = parser.parse_args(argv)
+
+    if args.updates:
+        try:
+            return _run_updates(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
 
     # The full model is only materialised when something actually needs it
     # (--stats / --atom / --dump-model); with --rewrite, plain --query runs

@@ -41,6 +41,7 @@ __all__ = [
     "certain_answers",
     "shared_engine",
     "clear_engine_cache",
+    "invalidate_engine",
     "engine_cache_info",
 ]
 
@@ -61,10 +62,15 @@ _cache_misses = 0
 def _cache_key(program, database, engine_options: dict) -> Optional[tuple]:
     """A hashable cache key, or ``None`` when the inputs cannot be keyed safely.
 
-    Program/database objects are keyed by identity *plus size*: both types are
-    append-only (``add``/``update``, no removal), so any effective mutation
-    after caching changes ``len`` and lands on a fresh key instead of serving
-    answers from an engine built against the pre-mutation state.
+    Program objects are keyed by identity *plus size* (programs are
+    append-only, so any effective mutation changes ``len``).  Database objects
+    are keyed by identity plus their *mutation version*: databases support
+    removal (:meth:`~repro.lang.program.Database.discard`), so ``len`` is not
+    a fingerprint — an add followed by a remove returns to the old size but
+    must not return to the old engine.  The version counter is re-read on
+    every lookup, so a mutated database always misses and lands on a fresh
+    engine; :func:`invalidate_engine` additionally drops the dead entries
+    eagerly.
     """
     try:
         options = tuple(sorted(engine_options.items()))
@@ -80,7 +86,7 @@ def _cache_key(program, database, engine_options: dict) -> Optional[tuple]:
     if database is None or isinstance(database, str):
         database_key: object = ("value", database)
     elif isinstance(database, Database):
-        database_key = ("id", id(database), len(database))
+        database_key = ("id", id(database), database.version)
     else:
         return None  # arbitrary iterables may be one-shot; never cache them
     return (program_key, database_key, options)
@@ -97,9 +103,16 @@ def _shared_entry(
     with _cache_lock:
         entry = _engine_cache.get(key)
         if entry is not None:
-            _engine_cache.move_to_end(key)
-            _cache_hits += 1
-            return entry[2], entry[3]
+            if entry[2].is_stale():
+                # Defence in depth: the versioned key should already have
+                # missed, but a caller that mutated the engine's *own*
+                # database copy (text programs hold one) can still land
+                # here — never serve answers from a stale engine.
+                del _engine_cache[key]
+            else:
+                _engine_cache.move_to_end(key)
+                _cache_hits += 1
+                return entry[2], entry[3]
     engine = WellFoundedEngine(program, database, **engine_options)
     lock = threading.RLock()
     with _cache_lock:
@@ -111,9 +124,9 @@ def _shared_entry(
             return entry[2], entry[3]
         _cache_misses += 1
         # Purge entries this one supersedes: same identity-keyed objects at an
-        # older size.  Sizes only grow, so those keys can never be hit again;
-        # without the purge a mutate-and-query loop fills the LRU with dead
-        # engines and evicts live ones.
+        # older size/version.  Both fingerprints only grow, so those keys can
+        # never be hit again; without the purge a mutate-and-query loop fills
+        # the LRU with dead engines and evicts live ones.
         for stale in [
             k
             for k in _engine_cache
@@ -159,6 +172,39 @@ def shared_engine(
     """
     engine, _ = _shared_entry(program, database, engine_options)
     return engine
+
+
+def invalidate_engine(
+    program: object = None, database: object = None
+) -> int:
+    """Eagerly drop cached engines built against *program* and/or *database*.
+
+    The version-fingerprinted keys already guarantee a mutated database never
+    *serves* a stale engine (the lookup key moves on); this hook additionally
+    releases the dead entries (and the object references pinning them) the
+    moment a caller knows a mutation happened, instead of waiting for LRU
+    pressure.  Matching is by object identity on whichever arguments are
+    given; returns the number of entries dropped.
+    """
+    targets = [id(obj) for obj in (program, database) if obj is not None]
+    if not targets:
+        return 0
+    dropped = 0
+    with _cache_lock:
+        for key in [
+            k
+            for k in _engine_cache
+            if any(
+                isinstance(component, tuple)
+                and len(component) == 3
+                and component[0] == "id"
+                and component[1] in targets
+                for component in k[:2]
+            )
+        ]:
+            del _engine_cache[key]
+            dropped += 1
+    return dropped
 
 
 def clear_engine_cache() -> None:

@@ -258,14 +258,17 @@ class WellFoundedEngine:
         differential oracle the incremental test suites compare against.
         Models and answers are bit-identical either way.
     backend:
-        Grounding backend for the magic-sets query path: ``"tuple"`` (default;
-        the per-candidate :class:`~repro.lp.grounding.SemiNaiveGrounder`,
-        retained verbatim as the differential oracle), ``"columnar"``
-        (:class:`~repro.lp.columnar.ColumnarGrounder` — bulk hash joins over
-        interned int columns), or ``"sqlite"`` (the same join plans executed
-        by an in-memory sqlite database).  Propagated to the relevance-pruned
-        fallback sub-engines and reported in :attr:`last_query_stats`; ground
-        programs, models and answers are identical across backends.
+        Grounding backend for the magic-sets query path: ``"columnar"``
+        (default; :class:`~repro.lp.columnar.ColumnarGrounder` — bulk hash
+        joins over interned int columns), ``"tuple"`` (the per-candidate
+        :class:`~repro.lp.grounding.SemiNaiveGrounder`, retained verbatim as
+        the differential oracle; its nested-loop joins rescan whole predicate
+        buckets and erase most of the rewriting's wall-clock win on join-heavy
+        workloads — see ``docs/performance.md``), or ``"sqlite"`` (the same
+        join plans executed by an in-memory sqlite database).  Propagated to
+        the relevance-pruned fallback sub-engines and reported in
+        :attr:`last_query_stats`; ground programs, models and answers are
+        identical across backends.
     """
 
     def __init__(
@@ -286,7 +289,7 @@ class WellFoundedEngine:
         saturation: str = "agenda",
         agenda_order=None,
         incremental: bool = True,
-        backend: str = "tuple",
+        backend: str = "columnar",
     ):
         if backend not in BACKENDS:
             raise ValueError(
@@ -312,6 +315,10 @@ class WellFoundedEngine:
 
         self.program = program
         self.database = database
+        #: the database's mutation version at snapshot time; the engine's
+        #: chase/model state is valid exactly while this matches (see
+        #: :meth:`is_stale`)
+        self._database_version = database.version
         self.skolemized = skolemize_program(program, skolem_args=skolem_args)
         self.initial_depth = initial_depth
         self.depth_step = depth_step
@@ -370,6 +377,19 @@ class WellFoundedEngine:
         self._frontier_pending_changed: set[Atom] = set()
 
     # -- public API --------------------------------------------------------------------
+
+    def is_stale(self) -> bool:
+        """``True`` iff :attr:`database` mutated after this engine snapshot it.
+
+        The engine's chase forest, ground program and cached model are all
+        derived from the database as it was at construction time; a caller
+        that mutates the database afterwards must rebuild (the shared-engine
+        LRU in :mod:`repro.core.answering` re-checks this fingerprint on
+        every hit) or use :class:`repro.views.MaterializedEngine`, which
+        maintains its state under fact insertion/retraction instead of
+        recomputing.
+        """
+        return self.database.version != self._database_version
 
     def model(self) -> DatalogWellFoundedModel:
         """The well-founded model WFS(D, Σ) (computed on first use, then cached).

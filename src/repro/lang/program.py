@@ -37,6 +37,10 @@ class Database:
         self._atoms: set[Atom] = set()
         self._by_predicate: dict[str, set[Atom]] = {}
         self._allow_nulls = allow_nulls
+        #: monotone mutation counter: bumped on every effective add/remove,
+        #: so caches can fingerprint the instance (``len`` alone cannot — an
+        #: add followed by a remove lands back on the same size)
+        self._version = 0
         for atom in atoms:
             self.add(atom)
 
@@ -62,11 +66,43 @@ class Database:
         if atom not in self._atoms:
             self._atoms.add(atom)
             self._by_predicate.setdefault(atom.predicate, set()).add(atom)
+            self._version += 1
 
     def update(self, atoms: Iterable[Atom]) -> None:
         """Add every atom of *atoms*."""
         for atom in atoms:
             self.add(atom)
+
+    def remove(self, atom: Atom) -> None:
+        """Remove an atom from the database.
+
+        Raises
+        ------
+        KeyError
+            If the atom is not in the database (use :meth:`discard` for the
+            tolerant variant).
+        """
+        if atom not in self._atoms:
+            raise KeyError(atom)
+        self.discard(atom)
+
+    def discard(self, atom: Atom) -> bool:
+        """Remove *atom* if present; return ``True`` iff it was removed."""
+        if atom not in self._atoms:
+            return False
+        self._atoms.discard(atom)
+        bucket = self._by_predicate.get(atom.predicate)
+        if bucket is not None:
+            bucket.discard(atom)
+            if not bucket:
+                del self._by_predicate[atom.predicate]
+        self._version += 1
+        return True
+
+    @property
+    def version(self) -> int:
+        """The mutation counter: distinct after every effective add/remove."""
+        return self._version
 
     # -- set-like access ---------------------------------------------------------
 

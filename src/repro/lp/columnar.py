@@ -91,29 +91,47 @@ class _Relation:
     of the persistent :class:`~repro.lp.grounding.PredicateIndex`.
     """
 
-    __slots__ = ("arity", "rows", "row_list", "atom_of", "indexes")
+    __slots__ = ("arity", "rows", "atom_of", "indexes")
 
     def __init__(self, arity: int):
         self.arity = arity
         self.rows: set[tuple[int, ...]] = set()
-        self.row_list: list[tuple[int, ...]] = []
+        #: insertion-ordered row -> Atom map; doubles as the row list that
+        #: lazy index builds iterate, so deletions need no parallel list
         self.atom_of: dict[tuple[int, ...], Atom] = {}
         self.indexes: dict[tuple[int, ...], dict[tuple[int, ...], list]] = {}
 
     def add(self, row: tuple[int, ...], atom: Atom) -> None:
         self.rows.add(row)
-        self.row_list.append(row)
         self.atom_of[row] = atom
         for columns, index in self.indexes.items():
             key = tuple(row[c] for c in columns)
             index.setdefault(key, []).append(row)
+
+    def remove(self, row: tuple[int, ...]) -> bool:
+        """Delete a row (deletion delta); maintains every built index."""
+        if row not in self.rows:
+            return False
+        self.rows.discard(row)
+        self.atom_of.pop(row, None)
+        for columns, index in self.indexes.items():
+            key = tuple(row[c] for c in columns)
+            bucket = index.get(key)
+            if bucket is not None:
+                try:
+                    bucket.remove(row)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                if not bucket:
+                    del index[key]
+        return True
 
     def ensure_index(self, columns: tuple[int, ...]) -> dict:
         """The hash index over *columns*, building it from existing rows."""
         index = self.indexes.get(columns)
         if index is None:
             index = {}
-            for row in self.row_list:
+            for row in self.atom_of:
                 key = tuple(row[c] for c in columns)
                 index.setdefault(key, []).append(row)
             self.indexes[columns] = index
@@ -289,6 +307,71 @@ class ColumnarGrounder:
         if self.engine == "sqlite":
             self._pending_sql_rows.setdefault(key, []).append(row or (0,))
 
+    # -- fact-level deltas (materialized-view maintenance seam) ----------------
+
+    def add_fact(self, atom: Atom) -> None:
+        """Add a ground EDB fact: store its fact rule and stage it as delta.
+
+        Mirrors :meth:`SemiNaiveGrounder.add_fact` — the next :meth:`run`
+        executes only the join plans the new row can drive.
+        """
+        if not atom.is_ground():
+            raise GroundingError(f"facts must be ground, got {atom}")
+        self.ground.add(NormalRule(atom))
+        self._seed(atom)
+
+    def retract_fact(self, atom: Atom) -> bool:
+        """Drop *atom* from the candidate state; return whether it was present.
+
+        The row leaves the predicate's relation (and every built hash index,
+        and the sqlite full/pending tables), so future delta joins no longer
+        see it.  Stored ground instances are untouched — activity is the view
+        layer's job — and the caller must only retract atoms that are no
+        longer derivable, re-entering them via :meth:`reseed` if rederived.
+        """
+        if not self.index.discard(atom):
+            return False
+        if self._delta:
+            try:
+                self._delta.remove(atom)
+            except ValueError:
+                pass
+        key = (atom.predicate, len(atom.args))
+        row = tuple(self._term_ids[arg] for arg in atom.args)
+        relation = self._relations.get(key)
+        if relation is not None:
+            relation.remove(row)
+        staged = self._delta_rows.get(key)
+        if staged is not None:
+            try:
+                staged.remove(row)
+            except ValueError:
+                pass
+        if self.engine == "sqlite":
+            sql_row = row or (0,)
+            pending = self._pending_sql_rows.get(key)
+            removed_pending = False
+            if pending is not None:
+                try:
+                    pending.remove(sql_row)
+                    removed_pending = True
+                except ValueError:
+                    pass
+            if not removed_pending:
+                table = f"r{self._predicate_id(*key)}"
+                if table in self._sql_tables:
+                    condition = " AND ".join(
+                        f"c{i} = ?" for i in range(len(sql_row))
+                    )
+                    self._conn.execute(
+                        f"DELETE FROM {table} WHERE {condition}", sql_row
+                    )
+        return True
+
+    def reseed(self, atom: Atom) -> None:
+        """Re-enter a previously retracted atom into the candidate state."""
+        self._seed(atom)
+
     # -- rule compilation ------------------------------------------------------
 
     def _compile(self, compiled: _CompiledRule) -> None:
@@ -453,8 +536,12 @@ class ColumnarGrounder:
             )
             for rule_id, compiled in enumerate(self._compiled):
                 if compiled.fallback:
-                    for instance in _delta_rule_instances(
-                        compiled.rule, self.index, fallback_index
+                    # snapshot before seeding: the candidate buckets are
+                    # insertion-ordered dicts and must not grow mid-scan
+                    for instance in list(
+                        _delta_rule_instances(
+                            compiled.rule, self.index, fallback_index
+                        )
                     ):
                         if instance not in self.ground:
                             self.ground.add(instance)

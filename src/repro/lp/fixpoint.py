@@ -87,6 +87,7 @@ class RuleIndex:
         "_watch_pos",
         "_watch_neg",
         "_rules_by_head",
+        "_disabled",
     )
 
     def __init__(self, rules: Iterable["NormalRule"] = ()):
@@ -99,6 +100,9 @@ class RuleIndex:
         self._watch_pos: list[list[int]] = []
         self._watch_neg: list[list[int]] = []
         self._rules_by_head: list[list[int]] = []
+        #: rule ids currently switched off (see :meth:`disable_rule`); empty
+        #: for every caller except the materialized-view maintenance layer
+        self._disabled: set[int] = set()
         for rule in rules:
             self.add_rule(rule)
 
@@ -210,6 +214,43 @@ class RuleIndex:
         """Ids of the rules with the atom in their negative body."""
         return self._watch_neg[atom_id]
 
+    # -- rule activity -----------------------------------------------------------
+
+    def disable_rule(self, rule_id: int) -> None:
+        """Switch a rule off: every propagator and closure ignores it.
+
+        The index stays append-only structurally — watcher lists, body tuples
+        and the dependency condensation keep the rule — but semantically a
+        disabled rule does not exist.  The materialized-view layer uses this
+        to retract ground rules (DRed overdeletion, fact removal) without
+        rebuilding the index.
+        """
+        self._disabled.add(rule_id)
+
+    def enable_rule(self, rule_id: int) -> None:
+        """Switch a previously disabled rule back on."""
+        self._disabled.discard(rule_id)
+
+    def is_enabled(self, rule_id: int) -> bool:
+        """``True`` iff the rule currently participates in propagation."""
+        return rule_id not in self._disabled
+
+    def disabled_count(self) -> int:
+        """Number of currently disabled rules."""
+        return len(self._disabled)
+
+    def active_rule_ids_for_head_id(self, atom_id: int) -> Sequence[int]:
+        """Ids of the *enabled* rules whose head has the given atom id.
+
+        Returns the shared head list unfiltered when nothing is disabled, so
+        callers outside the view-maintenance path pay nothing.
+        """
+        ids = self._rules_by_head[atom_id]
+        if not self._disabled:
+            return ids
+        disabled = self._disabled
+        return [rule_id for rule_id in ids if rule_id not in disabled]
+
     # -- core propagation ---------------------------------------------------------
 
     def _propagate_ids(
@@ -226,9 +267,10 @@ class RuleIndex:
         counts: list[int] = [0] * len(self._rules)
         heads = self._heads
         watch_pos = self._watch_pos
+        disabled = self._disabled
         stack: list[int] = []
         for rule_id, pos in enumerate(self._pos):
-            if blocked is not None and blocked(rule_id):
+            if rule_id in disabled or (blocked is not None and blocked(rule_id)):
                 counts[rule_id] = -1
                 continue
             # Counters are computed against the seed snapshot only: heads fired
@@ -337,8 +379,11 @@ class RuleIndex:
         is_true = interpretation.is_true
         is_false = interpretation.is_false
         atom_list = self._atom_list
+        disabled = self._disabled
         derived: set[Atom] = set()
         for rule_id, pos in enumerate(self._pos):
+            if rule_id in disabled:
+                continue
             if all(is_true(atom_list[a]) for a in pos) and all(
                 is_false(atom_list[a]) for a in self._neg[rule_id]
             ):

@@ -186,7 +186,9 @@ class PredicateIndex:
     __slots__ = ("_by_predicate", "_atoms")
 
     def __init__(self, atoms: Iterable[Atom] = ()):
-        self._by_predicate: dict[str, list[Atom]] = {}
+        #: predicate -> insertion-ordered dict used as a set: iteration is
+        #: deterministic and :meth:`discard` is O(1), which plain lists are not
+        self._by_predicate: dict[str, dict[Atom, None]] = {}
         self._atoms: set[Atom] = set()
         for atom in atoms:
             self.add(atom)
@@ -196,10 +198,20 @@ class PredicateIndex:
         if atom in self._atoms:
             return False
         self._atoms.add(atom)
-        self._by_predicate.setdefault(atom.predicate, []).append(atom)
+        self._by_predicate.setdefault(atom.predicate, {})[atom] = None
         return True
 
-    def get(self, predicate: str, default: Sequence[Atom] = ()) -> Sequence[Atom]:
+    def discard(self, atom: Atom) -> bool:
+        """Remove *atom* if present; return ``True`` iff it was removed."""
+        if atom not in self._atoms:
+            return False
+        self._atoms.discard(atom)
+        bucket = self._by_predicate.get(atom.predicate)
+        if bucket is not None:
+            bucket.pop(atom, None)
+        return True
+
+    def get(self, predicate: str, default: Sequence[Atom] = ()) -> Iterable[Atom]:
         """The atoms with the given predicate name (mapping protocol)."""
         return self._by_predicate.get(predicate, default)
 
@@ -368,6 +380,49 @@ class SemiNaiveGrounder:
         if self.index.add(atom):
             self._delta.append(atom)
 
+    def add_fact(self, atom: Atom) -> None:
+        """Add a ground EDB fact to the grounder's state.
+
+        The fact rule is stored in :attr:`ground` (duplicates ignored — the
+        program is append-only) and the atom joins the candidate index as a
+        pending delta atom, so the next :meth:`run` grounds exactly the rule
+        instances the new fact can fire.  This is the insertion seam of the
+        materialized-view layer.
+        """
+        if not atom.is_ground():
+            raise GroundingError(f"facts must be ground, got {atom}")
+        self.ground.add(NormalRule(atom))
+        self._seed(atom)
+
+    def retract_fact(self, atom: Atom) -> bool:
+        """Drop *atom* from the candidate index; return whether it was present.
+
+        Purely a matching-state optimisation: already-produced rule instances
+        stay in :attr:`ground` (it is append-only; the view layer tracks
+        which stored rules are *active*), but future delta rounds no longer
+        join against the atom.  The caller must guarantee the atom is no
+        longer derivable — retracting an atom that is still a candidate would
+        make future grounding incomplete — and re-seed it via
+        :meth:`add_fact`/:meth:`reseed` if it ever becomes derivable again.
+        """
+        removed = self.index.discard(atom)
+        if removed and self._delta:
+            try:
+                self._delta.remove(atom)
+            except ValueError:
+                pass
+        return removed
+
+    def reseed(self, atom: Atom) -> None:
+        """Re-enter a previously retracted atom into the candidate index.
+
+        Unlike :meth:`add_fact` no fact rule is stored: the atom is derivable
+        through existing rules again (the view layer's rederivation decided
+        so) and only the matching state must catch up — the next :meth:`run`
+        produces the joins the atom missed while it was out of the index.
+        """
+        self._seed(atom)
+
     @property
     def saturated(self) -> bool:
         """``True`` iff the fixpoint was reached (no pending delta atoms)."""
@@ -411,7 +466,12 @@ class SemiNaiveGrounder:
             delta_index = PredicateIndex(self._delta)
             self._delta = []
             for rule in self._proper_rules:
-                for instance in _delta_rule_instances(rule, self.index, delta_index):
+                # materialise before seeding: the candidate buckets are
+                # insertion-ordered dicts, so the scan must see a snapshot
+                # (freshly seeded heads are matched next round via the delta)
+                for instance in list(
+                    _delta_rule_instances(rule, self.index, delta_index)
+                ):
                     if instance not in self.ground:
                         self.ground.add(instance)
                         self._seed(instance.head)

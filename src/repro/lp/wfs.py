@@ -258,7 +258,7 @@ def well_founded_model(program: GroundProgram) -> WellFoundedModel:
         rule_ids = [
             rule_id
             for atom_id in component_ids
-            for rule_id in index.rule_ids_for_head_id(atom_id)
+            for rule_id in index.active_rule_ids_for_head_id(atom_id)
         ]
         _, _, component_rounds = _solve_component(
             index, component, rule_ids, true_ids, false_ids
@@ -313,6 +313,15 @@ class IncrementalWFS:
         self._solutions: dict[int, tuple[frozenset[int], frozenset[int]]] = {}
         #: component id -> external body atom ids its solution depends on
         self._inputs: dict[int, frozenset[int]] = {}
+        #: condensation updates accumulated by :meth:`refresh_structure`
+        #: calls between :meth:`model` calls — nothing may be lost when a
+        #: caller refreshes the condensation without immediately re-solving
+        self._pending_dirty: set[int] = set()
+        self._pending_removed: set[int] = set()
+        #: atom ids invalidated externally (rule activity flipped under the
+        #: index by the view-maintenance layer); translated to component ids
+        #: at the next :meth:`model` call, after the structural refresh
+        self._pending_dirty_atom_ids: set[int] = set()
         self._true_ids: set[int] = set()
         self._false_ids: set[int] = set()
         #: atom-space mirrors of the id sets, updated from per-component
@@ -339,20 +348,57 @@ class IncrementalWFS:
         """The incrementally maintained dependency condensation."""
         return self._condensation
 
+    def refresh_structure(self) -> None:
+        """Fold appended rules into the condensation without re-solving.
+
+        The resulting :class:`~repro.lp.fixpoint.CondensationUpdate` is
+        accumulated into pending state consumed by the next :meth:`model`
+        call, so callers that need a current condensation *between* model
+        refreshes (the view-maintenance layer asks it which atoms are
+        recursive) can refresh eagerly without losing dirt.
+        """
+        update = self._condensation.refresh()
+        self._pending_dirty |= update.dirty
+        self._pending_removed |= update.removed
+
+    def invalidate_atom_ids(self, atom_ids: Iterable[int]) -> None:
+        """Mark atoms (by index id) whose defining rules changed under the index.
+
+        The view-maintenance layer enables/disables ground rules in place;
+        the condensation cannot see those flips (the rule *structure* is
+        unchanged), so the affected heads are reported here and their
+        components re-solve on the next :meth:`model` call — the value ripple
+        to dependent components then follows the normal changed-input path.
+        """
+        self._pending_dirty_atom_ids.update(atom_ids)
+
     def model(self) -> WellFoundedModel:
         """``WFS(P)`` for the program's current rule set (re-solving only dirty parts)."""
         index = self._program.index()
-        update = self._condensation.refresh()
-        if not update.dirty and not update.removed and self._cached_model is not None:
+        self.refresh_structure()
+        if (
+            not self._pending_dirty
+            and not self._pending_removed
+            and not self._pending_dirty_atom_ids
+            and self._cached_model is not None
+        ):
             # No new rules reached any component, so no solution can change
-            # (a genuinely new rule always dirties its head's component) and
-            # the universe is unchanged: the previous model *is* the model.
+            # (a genuinely new rule always dirties its head's component), no
+            # rule activity flipped, and the universe is unchanged: the
+            # previous model *is* the model.
             self.last_resolved = 0
             self.last_reused = len(self._solutions)
             self.last_changed_atoms = frozenset()
             return self._cached_model
+        removed = self._pending_removed
+        dirty = self._pending_dirty - removed
+        for atom_id in self._pending_dirty_atom_ids:
+            dirty.add(self._condensation.component_of_atom(atom_id))
+        self._pending_dirty = set()
+        self._pending_removed = set()
+        self._pending_dirty_atom_ids = set()
         changed: set[int] = set()
-        for cid in update.removed:
+        for cid in removed:
             solution = self._solutions.pop(cid, None)
             if solution is not None:
                 # the merged successor re-solves and re-asserts these atoms;
@@ -364,7 +410,6 @@ class IncrementalWFS:
                 changed |= solution[0] | solution[1]
             self._inputs.pop(cid, None)
 
-        dirty = update.dirty
         condensation = self._condensation
         true_ids, false_ids = self._true_ids, self._false_ids
         rounds = 0
@@ -384,7 +429,7 @@ class IncrementalWFS:
             rule_ids = [
                 rule_id
                 for atom_id in component
-                for rule_id in index.rule_ids_for_head_id(atom_id)
+                for rule_id in index.active_rule_ids_for_head_id(atom_id)
             ]
             if stored is not None:
                 true_ids -= stored[0]

@@ -1,0 +1,12 @@
+"""Materialized-view maintenance over the well-founded LP core.
+
+A long-lived :class:`MaterializedEngine` keeps the ground program, the SCC
+condensation and the solved well-founded model warm while facts are inserted
+(delta-round regrounding + activation closure) and retracted (DRed
+delete–rederive with a counting fast path for non-recursive atoms).  See
+:mod:`repro.views.materialized` for the architecture notes.
+"""
+
+from .materialized import MaterializedEngine
+
+__all__ = ["MaterializedEngine"]

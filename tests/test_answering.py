@@ -14,6 +14,7 @@ from repro.core.answering import (
     clear_engine_cache,
     engine_cache_info,
     holds_under_wfs,
+    invalidate_engine,
     shared_engine,
 )
 from repro.core.engine import WellFoundedEngine
@@ -132,6 +133,50 @@ class TestEngineCache:
         assert holds_under_wfs(program, database, "? article(icdt19)")
         # ... and the superseded engine must have been purged, not left to
         # occupy an LRU slot its key can never hit again
+        assert engine_cache_info()["size"] == 1
+
+    def test_add_remove_round_trip_is_not_served_stale(self):
+        """Removal returns the database to its old `len` — the version-keyed
+        cache must still miss, never resurrecting the pre-mutation engine."""
+        from repro.lang.program import Database
+
+        program, _ = parse_program("conferencePaper(X) -> article(X).")
+        database = Database([parse_atom("conferencePaper(pods13)")])
+        assert holds_under_wfs(program, database, "? article(pods13)")
+        database.add(parse_atom("conferencePaper(icdt19)"))
+        database.remove(parse_atom("conferencePaper(icdt19)"))
+        assert len(database) == 1  # same size as when the engine was cached
+        assert not holds_under_wfs(program, database, "? article(icdt19)")
+        assert engine_cache_info()["size"] == 1
+
+    def test_invalidate_engine_drops_matching_entries(self):
+        from repro.lang.program import Database
+
+        program, _ = parse_program("conferencePaper(X) -> article(X).")
+        database = Database([parse_atom("conferencePaper(pods13)")])
+        other_program, _ = parse_program("scientist(X) -> person(X).")
+        shared_engine(program, database)
+        shared_engine(other_program, None)
+        assert engine_cache_info()["size"] == 2
+        assert invalidate_engine(database=database) == 1
+        assert engine_cache_info()["size"] == 1
+        assert invalidate_engine(program=other_program) == 1
+        assert engine_cache_info()["size"] == 0
+        assert invalidate_engine() == 0
+
+    def test_stale_engines_are_detected_and_rebuilt_on_hit(self):
+        """Mutating the engine's own database copy trips the is_stale guard.
+
+        Text programs hold a private database copy, so the versioned cache
+        key cannot observe the mutation — only the hit-path recheck can.
+        """
+        engine = shared_engine(LITERATURE, None)
+        assert not engine.is_stale()
+        engine.database.add(parse_atom("conferencePaper(vldb21)"))
+        assert engine.is_stale()
+        rebuilt = shared_engine(LITERATURE, None)
+        assert rebuilt is not engine
+        assert not rebuilt.is_stale()
         assert engine_cache_info()["size"] == 1
 
     def test_rewrite_option_is_forwarded(self):

@@ -115,3 +115,73 @@ class TestMain:
         out = capsys.readouterr().out
         assert code == 0
         assert "sips=bound-first" in out
+
+
+CHAINS = """
+source(X) -> reach(X).
+reach(X), edge(X, Y) -> reach(Y).
+source(a).
+edge(a, b).
+edge(b, c).
+"""
+
+
+@pytest.fixture()
+def chain_file(tmp_path):
+    path = tmp_path / "chains.dlp"
+    path.write_text(CHAINS)
+    return str(path)
+
+
+class TestUpdates:
+    """The `--updates` script replay drives a warm `MaterializedEngine`."""
+
+    def _script(self, tmp_path, text):
+        path = tmp_path / "script.upd"
+        path.write_text(text)
+        return str(path)
+
+    def test_insert_retract_and_inline_queries(self, chain_file, tmp_path, capsys):
+        script = self._script(
+            tmp_path,
+            """
+            ? reach(c)
+            - edge(b, c).   % cut the chain
+            ? reach(c)
+            + edge(a, c).   # reconnect around b
+            ? reach(X)
+            """,
+        )
+        code = main([chain_file, "--updates", script, "--check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        lines = [line for line in out.splitlines() if line.startswith("?")]
+        assert lines[0] == "? reach(c) : yes"
+        assert lines[1] == "? reach(c) : no"
+        assert lines[2] == "? reach(X) : (a) (b) (c)"
+
+    def test_final_queries_see_the_updated_model(self, chain_file, tmp_path, capsys):
+        script = self._script(tmp_path, "- edge(a, b).\n")
+        code = main(
+            [chain_file, "--updates", script, "--atom", "reach(b)", "--query", "? reach(a)"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reach(b) : false" in out
+        assert "? reach(a) : yes" in out
+
+    def test_malformed_update_line_reports_and_continues(self, chain_file, tmp_path, capsys):
+        script = self._script(tmp_path, "! nonsense\n? reach(a)\n")
+        code = main([chain_file, "--updates", script])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "line 1" in captured.err
+        assert "? reach(a) : yes" in captured.out
+
+    def test_verbose_reports_view_statistics(self, chain_file, tmp_path, capsys):
+        script = self._script(tmp_path, "- edge(b, c).\n+ edge(b, c).\n")
+        code = main([chain_file, "--updates", script, "--verbose", "--check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# view:" in out
+        assert "overdeleted" in out

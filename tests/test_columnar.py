@@ -229,7 +229,7 @@ QUERIES = ["? reach(c0_6)", "? reach(X)", "? node(c1_6), not reach(c1_6)"]
 @pytest.mark.parametrize("backend", NEW_BACKENDS)
 def test_engine_answers_and_stats_across_backends(backend):
     program, database = chain_reachability_workload(2, 6)
-    oracle = WellFoundedEngine(program, database)
+    oracle = WellFoundedEngine(program, database, backend="tuple")
     engine = WellFoundedEngine(program, database, backend=backend)
     assert engine.backend == backend
     for rewrite in (False, True):

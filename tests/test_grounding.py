@@ -126,3 +126,75 @@ class TestRelevantGrounding:
         )
         with pytest.raises(GroundingError):
             relevant_grounding(program, max_atoms=10)
+
+
+class TestIncrementalFactUpdates:
+    """The grounder-level insert/retract seam the view layer builds on."""
+
+    def _grounder(self):
+        from repro.lp.grounding import SemiNaiveGrounder
+
+        program = parse_normal_program("edge(X, Y) -> path(X, Y).")
+        grounder = SemiNaiveGrounder(program)
+        grounder.run()
+        return grounder
+
+    def test_add_fact_grounds_only_the_delta(self):
+        grounder = self._grounder()
+        grounder.add_fact(Atom("edge", (a, b)))
+        assert grounder.run()
+        delta = list(grounder.delta_rules())
+        assert Atom("path", (a, b)) in {r.head for r in delta}
+        # the fact itself became a stored fact rule
+        assert NormalRule(Atom("edge", (a, b))) in set(grounder.ground)
+
+    def test_add_fact_rejects_non_ground_atoms(self):
+        grounder = self._grounder()
+        with pytest.raises(GroundingError):
+            grounder.add_fact(Atom("edge", (X, b)))
+
+    def test_retract_fact_removes_the_candidate(self):
+        grounder = self._grounder()
+        grounder.add_fact(Atom("edge", (a, b)))
+        grounder.run()
+        assert grounder.retract_fact(Atom("edge", (a, b))) is True
+        assert Atom("edge", (a, b)) not in grounder.index
+        # stored rules are append-only: the produced instance stays
+        assert Atom("path", (a, b)) in {r.head for r in grounder.ground}
+        assert grounder.retract_fact(Atom("edge", (a, b))) is False
+
+    def test_retract_pending_delta_atom_cancels_its_joins(self):
+        grounder = self._grounder()
+        grounder.add_fact(Atom("edge", (a, b)))
+        # retract before running: the staged delta atom must not fire
+        assert grounder.retract_fact(Atom("edge", (a, b))) is True
+        assert grounder.run()
+        assert Atom("path", (a, b)) not in {r.head for r in grounder.ground}
+
+    def test_reseed_restores_matching_state(self):
+        grounder = self._grounder()
+        grounder.add_fact(Atom("edge", (a, b)))
+        grounder.run()
+        grounder.retract_fact(Atom("edge", (a, b)))
+        grounder.reseed(Atom("edge", (a, b)))
+        assert grounder.run()
+        assert Atom("edge", (a, b)) in grounder.index
+
+    @pytest.mark.parametrize("backend", ["columnar", "sqlite"])
+    def test_columnar_backends_mirror_the_tuple_seam(self, backend):
+        from repro.lp.columnar import make_grounder
+
+        program = parse_normal_program("edge(X, Y) -> path(X, Y).")
+        grounder = make_grounder(program, backend=backend)
+        grounder.run()
+        grounder.add_fact(Atom("edge", (a, b)))
+        grounder.add_fact(Atom("edge", (b, c)))
+        assert grounder.run()
+        assert Atom("path", (b, c)) in grounder.ground.atoms()
+        assert grounder.retract_fact(Atom("edge", (b, c))) is True
+        assert Atom("edge", (b, c)) not in grounder.index
+        assert grounder.retract_fact(Atom("edge", (b, c))) is False
+        # a retracted row no longer joins: new facts over it stay unmatched
+        grounder.reseed(Atom("edge", (b, c)))
+        assert grounder.run()
+        assert Atom("edge", (b, c)) in grounder.index

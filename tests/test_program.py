@@ -51,6 +51,31 @@ class TestDatabase:
         database = Database([Atom("p", (a,))])
         assert database == {Atom("p", (a,))}
 
+    def test_remove_and_discard(self):
+        database = Database([Atom("p", (a,)), Atom("q", (a, b))])
+        database.remove(Atom("p", (a,)))
+        assert Atom("p", (a,)) not in database
+        assert database.with_predicate("p") == set()
+        with pytest.raises(KeyError):
+            database.remove(Atom("p", (a,)))
+        assert database.discard(Atom("p", (a,))) is False
+        assert database.discard(Atom("q", (a, b))) is True
+        assert len(database) == 0
+
+    def test_version_distinguishes_add_remove_round_trips(self):
+        """`len` returns to its old value after add+remove; `version` must not."""
+        database = Database([Atom("p", (a,))])
+        version = database.version
+        database.add(Atom("p", (b,)))
+        database.remove(Atom("p", (b,)))
+        assert len(database) == 1
+        assert database.version > version
+        # ineffective operations do not bump the counter
+        version = database.version
+        database.add(Atom("p", (a,)))
+        database.discard(Atom("p", (b,)))
+        assert database.version == version
+
 
 class TestSchema:
     def test_from_atoms_infers_arities(self):

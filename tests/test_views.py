@@ -1,0 +1,287 @@
+"""Unit tests for the materialized-view maintenance subsystem (`repro.views`).
+
+The contract under test: after any sequence of `add_facts`/`retract_facts`,
+`MaterializedEngine.model()` is bit-identical to the from-scratch oracle
+`scratch_model()` (full reground + cold solve of the current rules + EDB) —
+on every backend, through negation flips, support diamonds, re-adds and
+budget-interrupted updates.  The randomized interleavings live in
+:mod:`test_view_properties`; these are the targeted shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import parse_normal_program
+from repro.exceptions import GroundingError
+from repro.lang.atoms import Atom
+from repro.lang.parser import parse_atom, parse_query
+from repro.lang.terms import Constant
+from repro.lp.columnar import BACKENDS
+from repro.views import MaterializedEngine
+
+CHAIN_RULES = parse_normal_program(
+    """
+    source(X) -> reach(X).
+    reach(X), edge(X, Y) -> reach(Y).
+    sink(X), not reach(X) -> unreachable(X).
+    """
+)
+
+WIN_MOVE_RULES = parse_normal_program("move(X, Y), not win(Y) -> win(X).")
+
+
+def atoms(*texts: str) -> list[Atom]:
+    return [parse_atom(text) for text in texts]
+
+
+def check(engine: MaterializedEngine, context: str = "") -> None:
+    """The maintained model must equal the from-scratch oracle, bit for bit."""
+    maintained, scratch = engine.model(), engine.scratch_model()
+    assert maintained.true_atoms() == scratch.true_atoms(), context
+    assert maintained.false_atoms() == scratch.false_atoms(), context
+    assert maintained.universe() == scratch.universe(), context
+    assert maintained == scratch, context
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+class TestInsertion:
+    def test_initial_model_matches_scratch(self, backend):
+        engine = MaterializedEngine(
+            CHAIN_RULES,
+            atoms("source(a)", "edge(a,b)", "edge(b,c)", "sink(c)"),
+            backend=backend,
+        )
+        check(engine)
+        assert engine.holds(parse_atom("reach(c)"))
+        assert not engine.holds(parse_atom("unreachable(c)"))
+
+    def test_single_fact_insert_extends_the_closure(self, backend):
+        engine = MaterializedEngine(
+            CHAIN_RULES, atoms("source(a)", "edge(a,b)"), backend=backend
+        )
+        engine.add_facts(atoms("edge(b,c)"))
+        check(engine, "after edge insert")
+        assert engine.holds(parse_atom("reach(c)"))
+        assert engine.last_stats["facts_added"] == 1
+
+    def test_inserting_known_facts_is_a_no_op(self, backend):
+        engine = MaterializedEngine(
+            CHAIN_RULES, atoms("source(a)", "edge(a,b)"), backend=backend
+        )
+        stored_before = engine.ground_rule_count()
+        stats = engine.add_facts(atoms("edge(a,b)", "source(a)"))
+        assert stats["facts_added"] == 0
+        assert engine.ground_rule_count() == stored_before
+        check(engine)
+
+    def test_insert_flips_a_negative_literal(self, backend):
+        engine = MaterializedEngine(
+            CHAIN_RULES, atoms("source(a)", "sink(b)"), backend=backend
+        )
+        assert engine.holds(parse_atom("unreachable(b)"))
+        engine.add_facts(atoms("edge(a,b)"))
+        check(engine, "negation flip on insert")
+        assert not engine.holds(parse_atom("unreachable(b)"))
+
+    def test_nonground_fact_is_rejected(self, backend):
+        engine = MaterializedEngine(CHAIN_RULES, (), backend=backend)
+        from repro.lang.terms import Variable
+
+        with pytest.raises(GroundingError):
+            engine.add_facts([Atom("edge", (Variable("X"), Constant("a")))])
+
+
+class TestRetraction:
+    def test_retract_cuts_the_chain_suffix(self, backend):
+        engine = MaterializedEngine(
+            CHAIN_RULES,
+            atoms("source(a)", "edge(a,b)", "edge(b,c)", "edge(c,d)", "sink(d)"),
+            backend=backend,
+        )
+        engine.retract_facts(atoms("edge(b,c)"))
+        check(engine, "after mid-chain retract")
+        assert engine.holds(parse_atom("reach(b)"))
+        assert not engine.holds(parse_atom("reach(c)"))
+        assert engine.holds(parse_atom("unreachable(d)"))
+        assert engine.last_stats["overdeleted"] > 0
+
+    def test_retracting_unknown_facts_is_a_no_op(self, backend):
+        engine = MaterializedEngine(
+            CHAIN_RULES, atoms("source(a)", "edge(a,b)"), backend=backend
+        )
+        stats = engine.retract_facts(atoms("edge(x,y)"))
+        assert stats["facts_retracted"] == 0
+        check(engine)
+
+    def test_counting_keeps_diamond_supported_atoms(self, backend):
+        """An atom with two independent derivations survives losing one.
+
+        The counting fast path must keep it without overdeletion: the
+        support is acyclic, so one surviving active rule is proof enough.
+        """
+        rules = parse_normal_program(
+            """
+            left(X) -> goal(X).
+            right(X) -> goal(X).
+            goal(X), hop(X, Y) -> goal(Y).
+            """
+        )
+        engine = MaterializedEngine(
+            rules, atoms("left(a)", "right(a)", "hop(a,b)"), backend=backend
+        )
+        engine.retract_facts(atoms("left(a)"))
+        check(engine, "diamond retract")
+        assert engine.holds(parse_atom("goal(a)"))
+        assert engine.holds(parse_atom("goal(b)"))
+        assert engine.last_stats["counting_kept"] > 0
+        # only the EDB fact itself is overdeleted; the goal closure is kept
+        assert engine.last_stats["overdeleted"] == 1
+
+    def test_recursive_support_is_overdeleted_not_counted(self, backend):
+        """Cyclic derivations must not keep each other alive (DRed, not counting)."""
+        rules = parse_normal_program(
+            """
+            tick(X) -> on(X).
+            on(X), loop(X, Y) -> on(Y).
+            """
+        )
+        engine = MaterializedEngine(
+            rules,
+            atoms("tick(a)", "loop(a,b)", "loop(b,a)"),
+            backend=backend,
+        )
+        engine.retract_facts(atoms("tick(a)"))
+        check(engine, "cycle retract")
+        assert not engine.holds(parse_atom("on(a)"))
+        assert not engine.holds(parse_atom("on(b)"))
+
+    def test_retract_inside_a_negative_cycle(self, backend):
+        """Win/move: component-level re-solve handles negation cycles."""
+        engine = MaterializedEngine(
+            WIN_MOVE_RULES,
+            atoms("move(a,b)", "move(b,a)", "move(b,c)", "move(c,d)"),
+            backend=backend,
+        )
+        win_a = parse_atom("win(a)")
+        model = engine.model()
+        assert not model.is_true(win_a) and not model.is_false(win_a)  # undefined
+        engine.retract_facts(atoms("move(b,a)"))
+        check(engine, "negative-cycle retract")
+        # the cycle is broken: a -> b -> c -> d resolves bottom-up
+        assert engine.holds(win_a)
+        assert not engine.holds(parse_atom("win(b)"))
+        assert engine.holds(parse_atom("win(c)"))
+
+    def test_retract_then_re_add_round_trips(self, backend):
+        facts = atoms("source(a)", "edge(a,b)", "edge(b,c)", "sink(c)")
+        engine = MaterializedEngine(CHAIN_RULES, facts, backend=backend)
+        fingerprint = (
+            engine.model().true_atoms(),
+            engine.model().false_atoms(),
+            engine.edb,
+        )
+        engine.retract_facts(atoms("edge(a,b)"))
+        check(engine, "after retract")
+        engine.add_facts(atoms("edge(a,b)"))
+        check(engine, "after re-add")
+        assert (
+            engine.model().true_atoms(),
+            engine.model().false_atoms(),
+            engine.edb,
+        ) == fingerprint
+
+    def test_retract_every_fact_empties_the_model(self, backend):
+        facts = atoms("source(a)", "edge(a,b)", "sink(b)")
+        engine = MaterializedEngine(CHAIN_RULES, facts, backend=backend)
+        engine.retract_facts(facts)
+        check(engine, "after total retract")
+        assert engine.model().universe() == frozenset()
+        assert engine.edb == frozenset()
+
+
+class TestBackendInvariance:
+    def test_maintained_models_agree_across_backends(self):
+        """Satellite: insertion AND deletion deltas are backend-invariant."""
+        script = [
+            ("add", atoms("edge(c,d)", "sink(d)")),
+            ("retract", atoms("edge(a,b)")),
+            ("add", atoms("edge(a,b)", "source(x)")),
+            ("retract", atoms("source(a)", "sink(c)")),
+        ]
+        engines = {
+            backend: MaterializedEngine(
+                CHAIN_RULES,
+                atoms("source(a)", "edge(a,b)", "edge(b,c)", "sink(c)"),
+                backend=backend,
+            )
+            for backend in BACKENDS
+        }
+        reference = engines["tuple"]
+        for step, (op, batch) in enumerate(script):
+            for backend, engine in engines.items():
+                if op == "add":
+                    engine.add_facts(batch)
+                else:
+                    engine.retract_facts(batch)
+                assert engine.model() == reference.model(), (backend, step)
+            check(reference, f"step {step}")
+
+
+class TestBudgets:
+    def test_update_budget_exhaustion_is_resumable(self):
+        """A budget-interrupted update stays staged and resumes losslessly."""
+        engine = MaterializedEngine(
+            CHAIN_RULES, atoms("source(n0)", "sink(n9)")
+        )
+        engine.max_rounds_per_update = 2
+        chain = [Atom("edge", (Constant(f"n{i}"), Constant(f"n{i+1}"))) for i in range(9)]
+        with pytest.raises(GroundingError):
+            engine.add_facts(chain)  # 9 hops cannot ground in 2 rounds
+        # queries keep failing while the budget is exhausted ...
+        with pytest.raises(GroundingError):
+            engine.model()
+        # ... and raising the allowance resumes mid-update, losing nothing
+        engine.max_rounds_per_update = 100
+        check(engine, "after resume")
+        assert engine.holds(parse_atom("reach(n9)"))
+
+    def test_atom_budget_applies_to_updates(self):
+        rules = parse_normal_program("grow(X) -> grow(f(X)).")
+        engine = MaterializedEngine(rules, (), max_atoms=50)
+        with pytest.raises(GroundingError):
+            engine.add_facts(atoms("grow(a)"))
+
+
+class TestQueries:
+    def test_answer_and_holds_track_updates(self, backend):
+        engine = MaterializedEngine(
+            CHAIN_RULES, atoms("source(a)", "edge(a,b)"), backend=backend
+        )
+        assert engine.answer(parse_query("? reach(X)")) == {
+            (Constant("a"),),
+            (Constant("b"),),
+        }
+        engine.add_facts(atoms("edge(b,c)"))
+        assert (Constant("c"),) in engine.answer(parse_query("? reach(X)"))
+        engine.retract_facts(atoms("edge(a,b)"))
+        assert engine.answer(parse_query("? reach(X)")) == {(Constant("a"),)}
+
+    def test_text_program_and_text_facts(self):
+        engine = MaterializedEngine(
+            "edge(X, Y) -> linked(X, Y). edge(a, b).",
+        )
+        assert engine.holds("? linked(a, b)")
+        engine.add_facts("edge(b, c).")
+        assert engine.holds("? linked(b, c)")
+        engine.retract_facts("edge(a, b).")
+        assert not engine.holds("? linked(a, b)")
+        check(engine)
+
+    def test_repr_mentions_activity(self):
+        engine = MaterializedEngine(CHAIN_RULES, atoms("source(a)"))
+        assert "active" in repr(engine)
