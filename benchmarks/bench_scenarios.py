@@ -1,0 +1,168 @@
+"""Scenario-corpus replay benchmark — warm serving latency across the registry.
+
+PR 7's view-maintenance bench measured one synthetic shape (independent
+reachability chains).  The scenario corpus (``repro.scenarios``) replaces
+hand-rolled shapes with the registered workloads — telemetry RCA,
+access-control policies, win/move game graphs, a LUBM-flavoured ontology and
+supply-chain chase rules — each bundling a seeded update/query trace.  This
+benchmark replays every registered scenario's trace against a warm
+:class:`repro.views.MaterializedEngine` with differential checkpoints ON
+(``!check`` compares the maintained model against ``scratch_model()``), so
+the headline ``all_models_identical`` is a hard correctness gate, and
+reports the serving-latency profile:
+
+* p50/p95/p99/max wall-clock per **update** (insert/retract + maintenance)
+  and per **query** (over the maintained model),
+* the query cache hit-rate (reads the uniform ``last_query_stats`` shape),
+* the from-scratch comparator: the median ``scratch_model()`` wall-clock on
+  the same states (measured at the checkpoints), and the speedup of a
+  maintained update over a rebuild — the number the ROADMAP thresholds.
+
+Running the module directly prints the table and writes
+``BENCH_scenarios.json`` at the repository root (uploaded as a CI
+artifact).  ``python benchmarks/bench_scenarios.py smoke`` runs shortened
+traces for CI; explicit scenario names restrict the run
+(``python benchmarks/bench_scenarios.py win-move supply-chain``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import ResultTable
+from repro.scenarios import build_scenario, build_target, replay_trace, scenario_names
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_scenarios.json"
+
+BACKEND = "columnar"
+#: Trace lengths: the full report stresses the warm path; smoke keeps CI fast.
+REPORT_TRACE_LENGTH = 120
+SMOKE_TRACE_LENGTH = 24
+
+
+def measure_scenario(
+    name: str, *, trace_length: int | None = None, backend: str = BACKEND
+) -> dict:
+    """Replay one scenario (checkpoints on) and summarise its latency profile."""
+    overrides = {"trace_length": trace_length} if trace_length else {}
+    bundle = build_scenario(name, **overrides)
+    target = build_target(bundle, engine="materialized", backend=backend)
+
+    # Instrument the differential checkpoints so the oracle's own wall-clock
+    # becomes the from-scratch comparator for the same engine states.
+    scratch_seconds: list[float] = []
+    original_scratch = target.engine.scratch_model
+
+    def timed_scratch():
+        started = time.perf_counter()
+        model = original_scratch()
+        scratch_seconds.append(time.perf_counter() - started)
+        return model
+
+    target.engine.scratch_model = timed_scratch
+
+    report = replay_trace(bundle.trace, target, check=True)
+    updates = report.latency_summary("insert", "retract")
+    queries = report.latency_summary("query", "expect")
+    scratch_seconds.sort()
+    scratch_p50 = (
+        scratch_seconds[len(scratch_seconds) // 2] if scratch_seconds else float("nan")
+    )
+    update_p50 = updates["p50_seconds"]
+    speedup = scratch_p50 / update_p50 if update_p50 > 0 else float("nan")
+    return {
+        "scenario": name,
+        "params": dict(bundle.params),
+        "events": report.events,
+        "updates": updates,
+        "queries": queries,
+        "checkpoints": report.checks,
+        "query_cache_hit_rate": report.query_cache_hit_rate,
+        "scratch_p50_seconds": scratch_p50,
+        "update_speedup_vs_scratch": speedup,
+        "models_identical": report.ok,
+        "divergences": list(report.divergences),
+    }
+
+
+def measure(names=None, *, trace_length: int | None = None) -> dict:
+    """Replay the selected (default: all) scenarios; return the JSON payload."""
+    names = list(names) if names else list(scenario_names())
+    rows = [measure_scenario(name, trace_length=trace_length) for name in names]
+    return {
+        "benchmark": "scenario corpus trace replay",
+        "description": (
+            "every registered scenario's seeded update/query trace replayed "
+            "against a warm MaterializedEngine with differential checkpoints "
+            "on; scratch comparator timed at the same checkpoints"
+        ),
+        "backend": BACKEND,
+        "trace_length": trace_length,
+        "scenarios": names,
+        "results": rows,
+        "all_models_identical": all(row["models_identical"] for row in rows),
+    }
+
+
+@pytest.mark.experiment("scenarios")
+@pytest.mark.parametrize("name", ["telemetry-rca", "win-move", "supply-chain"])
+def test_scenario_replay_matches_oracle(name):
+    """Replaying a scenario with checkpoints on never diverges from the oracle."""
+    row = measure_scenario(name, trace_length=SMOKE_TRACE_LENGTH)
+    assert row["models_identical"], row["divergences"]
+    assert row["checkpoints"] > 0
+    assert row["updates"]["count"] > 0
+
+
+def report(names=None, *, trace_length: int | None = None) -> dict:
+    """Print the replay-latency table and write ``BENCH_scenarios.json``."""
+    data = measure(names, trace_length=trace_length)
+    table = ResultTable(
+        "Scenario trace replay — warm maintained engine, checkpoints on",
+        [
+            "scenario",
+            "events",
+            "upd p50 (ms)",
+            "upd p99 (ms)",
+            "qry p50 (ms)",
+            "qry p99 (ms)",
+            "hit rate",
+            "scratch p50 (ms)",
+            "speedup",
+            "identical",
+        ],
+    )
+    for row in data["results"]:
+        table.add_row(
+            row["scenario"],
+            row["events"],
+            f"{row['updates']['p50_seconds'] * 1000:.3f}",
+            f"{row['updates']['p99_seconds'] * 1000:.3f}",
+            f"{row['queries']['p50_seconds'] * 1000:.3f}",
+            f"{row['queries']['p99_seconds'] * 1000:.3f}",
+            f"{row['query_cache_hit_rate']:.2f}",
+            f"{row['scratch_p50_seconds'] * 1000:.3f}",
+            f"{row['update_speedup_vs_scratch']:.1f}x",
+            row["models_identical"],
+        )
+    table.print()
+    print(
+        f"\n{len(data['results'])} scenarios, all models identical to the "
+        f"from-scratch oracle: {data['all_models_identical']}"
+    )
+    RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+    return data
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if argv and argv[0] == "smoke":
+        report(argv[1:] or None, trace_length=SMOKE_TRACE_LENGTH)
+    else:
+        report(argv or None, trace_length=REPORT_TRACE_LENGTH)

@@ -296,6 +296,14 @@ def _run_updates(args) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro``; returns the process exit code."""
+    # The scenario corpus has its own verb-structured CLI; dispatch before
+    # the flag-style parser sees (and rejects) the sub-command word.
+    effective = list(sys.argv[1:] if argv is None else argv)
+    if effective and effective[0] == "scenarios":
+        from .scenarios.cli import scenarios_main
+
+        return scenarios_main(effective[1:])
+
     parser = build_argument_parser()
     args = parser.parse_args(argv)
 

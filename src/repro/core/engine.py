@@ -485,6 +485,8 @@ class WellFoundedEngine:
         """
         use_rewrite = self.rewrite if rewrite is None else rewrite
         if not use_rewrite:
+            started = time.perf_counter()
+            cache_hit = self._model is not None
             model = self.model()
             self.last_query_stats = {
                 "mode": "classic",
@@ -496,6 +498,9 @@ class WellFoundedEngine:
                 "nodes_spliced": self._chase.cache_stats["nodes_spliced"],
                 "incremental": self.incremental,
                 "backend": self.backend,
+                "cache_hit": cache_hit,
+                "rounds": model.iterations or 0,
+                "seconds": time.perf_counter() - started,
             }
             return model
 
@@ -507,6 +512,9 @@ class WellFoundedEngine:
                 self._rewrite_cache.popitem(last=False)
         else:
             self._rewrite_cache.move_to_end(literals)
+            # flipped in place: callers (and tests) hold the cached stats
+            # dict by identity, so a hit must not re-create it
+            outcome.stats["cache_hit"] = True
         self.last_query_stats = outcome.stats
         return outcome.model
 
@@ -524,6 +532,7 @@ class WellFoundedEngine:
                     "mode": "magic",
                     "sips": plan.sips,
                     "backend": self.backend,
+                    "cache_hit": False,
                     "relevant_predicates": len(plan.relevant_predicates()),
                     "adorned_predicates": len(plan.adorned.reachable),
                     "folded_adornments": plan.folded_adornments,
@@ -541,6 +550,8 @@ class WellFoundedEngine:
             "mode": "pruned-chase" if relevant_rules < len(self.program) else "full-chase",
             "sips": plan.sips,
             "backend": self.backend,
+            "cache_hit": False,
+            "rounds": model.iterations or 0,
             "fallback_reason": fallback_reason,
             "relevant_predicates": len(plan.relevant_predicates()),
             "rules_total": len(self.program),

@@ -1,0 +1,78 @@
+"""Scenario corpus + trace-replay harness (ROADMAP direction 4).
+
+A registry of named, parameterized workloads — RCA/diagnosis telemetry,
+access-control policies, win/move game graphs, LUBM-style DL ontologies and
+supply-chain chase workloads — each bundling ``(program, database, queries,
+update trace)``, plus a line-oriented trace format (a superset of the
+``--updates`` script grammar with think-time annotations and
+expected-answer checkpoints) and a replay client that drives a warm engine
+through a trace while recording per-event latency percentiles, cache
+hit-rates and divergence against the from-scratch oracle.
+
+See ``docs/scenarios.md`` for the registry API, the trace grammar and the
+CLI verbs (``repro scenarios list|run|record|replay``).
+"""
+
+from .registry import (
+    Scenario,
+    ScenarioBundle,
+    build_scenario,
+    get_scenario,
+    scenario,
+    scenario_names,
+)
+from .replay import (
+    MaterializedTarget,
+    RebuildTarget,
+    ReplayInterrupted,
+    ReplayReport,
+    build_target,
+    percentile,
+    record_trace,
+    replay_scenario,
+    replay_trace,
+)
+from .trace import (
+    TraceEvent,
+    check_event,
+    expect_event,
+    format_event,
+    format_trace,
+    generate_trace,
+    insert_event,
+    parse_trace,
+    parse_trace_line,
+    query_event,
+    retract_event,
+    think_event,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioBundle",
+    "build_scenario",
+    "get_scenario",
+    "scenario",
+    "scenario_names",
+    "MaterializedTarget",
+    "RebuildTarget",
+    "ReplayInterrupted",
+    "ReplayReport",
+    "build_target",
+    "percentile",
+    "record_trace",
+    "replay_scenario",
+    "replay_trace",
+    "TraceEvent",
+    "check_event",
+    "expect_event",
+    "format_event",
+    "format_trace",
+    "generate_trace",
+    "insert_event",
+    "parse_trace",
+    "parse_trace_line",
+    "query_event",
+    "retract_event",
+    "think_event",
+]

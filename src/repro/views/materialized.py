@@ -214,6 +214,11 @@ class MaterializedEngine:
 
         # -- instrumentation ---------------------------------------------------
         self.last_stats: dict = {}
+        #: statistics of the last model()/holds()/answer() call, with the
+        #: same core keys (seconds, rounds, cache_hit, backend) that
+        #: WellFoundedEngine.last_query_stats carries — replay clients read
+        #: one shape from either engine
+        self.last_query_stats: Optional[dict] = None
         self.total_stats: dict = {
             "updates": 0,
             "facts_added": 0,
@@ -442,6 +447,7 @@ class MaterializedEngine:
         stats = {
             "op": op,
             "seconds": perf_counter() - started,
+            "backend": self.backend,
             "rules_enabled": stat.get("rules_enabled", 0),
             "rules_disabled": stat.get("rules_disabled", 0),
             "overdeleted": stat.get("overdeleted", 0),
@@ -450,6 +456,9 @@ class MaterializedEngine:
             "reseeded": stat.get("reseeded", 0),
             "dropped": stat.get("dropped", 0),
             "grounding_rounds": self._grounder.rounds - self._round_floor,
+            # "rounds" mirrors "grounding_rounds" so update stats read with
+            # the same keys as last_query_stats everywhere (seconds/rounds)
+            "rounds": self._grounder.rounds - self._round_floor,
             "stored_rules": len(self._index),
             "active_rules": len(self._index) - self._index.disabled_count(),
         }
@@ -600,8 +609,16 @@ class MaterializedEngine:
         differential suites pin this); only the components the last updates
         touched are re-solved.
         """
+        started = perf_counter()
         self._resume_pending()
         if self._model_cache is not None:
+            self.last_query_stats = {
+                "mode": "materialized",
+                "backend": self.backend,
+                "cache_hit": True,
+                "rounds": 0,
+                "seconds": perf_counter() - started,
+            }
             return self._model_cache
         inner = self._wfs.model()
         universe = self._universe_frozenset()
@@ -610,6 +627,13 @@ class MaterializedEngine:
         )
         model = WellFoundedModel(interpretation, universe, iterations=inner.iterations)
         self._model_cache = model
+        self.last_query_stats = {
+            "mode": "materialized",
+            "backend": self.backend,
+            "cache_hit": False,
+            "rounds": inner.iterations or 0,
+            "seconds": perf_counter() - started,
+        }
         return model
 
     def _universe_frozenset(self) -> frozenset[Atom]:

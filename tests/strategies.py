@@ -30,6 +30,8 @@ __all__ = [
     "safe_normal_workloads",
     "guarded_workloads",
     "agenda_orderings",
+    "scenario_bundles",
+    "scenario_traces",
 ]
 
 constants = st.sampled_from([Constant(name) for name in "abcde"])
@@ -163,6 +165,49 @@ def guarded_workloads(draw):
         num_facts=8,
         seed=seed,
     )
+
+
+#: Per-scenario size overrides keeping property examples fast (the registry
+#: defaults target the CLI/bench; hypothesis runs hundreds of examples).
+_SCENARIO_PROPERTY_SIZES = {
+    "telemetry-rca": {"size": 6},
+    "access-control": {"size": 4},
+    "win-move": {"size": 6},
+    "lubm-university": {"size": 1, "students": 2},
+    "supply-chain": {"size": 6},
+}
+
+
+@st.composite
+def scenario_bundles(draw, names=None):
+    """A small instance of a registered scenario (random name × seed)."""
+    from repro.scenarios import build_scenario, scenario_names
+
+    name = draw(st.sampled_from(list(names) if names else scenario_names()))
+    seed = draw(st.integers(min_value=0, max_value=1_000))
+    overrides = dict(_SCENARIO_PROPERTY_SIZES.get(name, {}))
+    overrides["seed"] = seed
+    overrides["trace_length"] = draw(st.integers(min_value=4, max_value=24))
+    overrides["checkpoint_every"] = draw(st.sampled_from([3, 5, 8]))
+    return build_scenario(name, **overrides)
+
+
+@st.composite
+def scenario_traces(draw, names=None):
+    """A scenario bundle plus a *fresh* random interleaving over its fact pool.
+
+    The returned trace is regenerated from the bundle's dynamic-fact pool and
+    query mix with an independent seed — so the property suites exercise
+    interleavings the registry never shipped, not just the bundled trace.
+    """
+    bundle = draw(scenario_bundles(names))
+    trace = bundle.regenerate_trace(
+        seed=draw(st.integers(min_value=0, max_value=1_000)),
+        length=draw(st.integers(min_value=4, max_value=24)),
+        query_ratio=draw(st.sampled_from([0.0, 0.3, 0.6])),
+        checkpoint_every=draw(st.sampled_from([3, 5])),
+    )
+    return bundle, trace
 
 
 @st.composite
