@@ -74,7 +74,7 @@ def measure_scenario(
         scratch_seconds[len(scratch_seconds) // 2] if scratch_seconds else float("nan")
     )
     update_p50 = updates["p50_seconds"]
-    speedup = scratch_p50 / update_p50 if update_p50 > 0 else float("nan")
+    speedup = scratch_p50 / update_p50 if update_p50 else float("nan")
     return {
         "scenario": name,
         "params": dict(bundle.params),
@@ -145,7 +145,9 @@ def report(names=None, *, trace_length: int | None = None) -> dict:
             f"{row['updates']['p99_seconds'] * 1000:.3f}",
             f"{row['queries']['p50_seconds'] * 1000:.3f}",
             f"{row['queries']['p99_seconds'] * 1000:.3f}",
-            f"{row['query_cache_hit_rate']:.2f}",
+            "n/a"
+            if row["query_cache_hit_rate"] is None
+            else f"{row['query_cache_hit_rate']:.2f}",
             f"{row['scratch_p50_seconds'] * 1000:.3f}",
             f"{row['update_speedup_vs_scratch']:.1f}x",
             row["models_identical"],

@@ -265,7 +265,7 @@ class SegmentStore:
 
     def record(
         self, shape: tuple, relative_depth: int, entries: tuple[tuple[int, int], ...]
-    ) -> bool:
+    ) -> Optional[CachedSegment]:
         """Store a segment unless it is too large or a better one exists.
 
         A recorded segment is replaced when the new one is saturated deeper,
@@ -274,9 +274,14 @@ class SegmentStore:
         incomplete), and a later forest that derived more under the same
         shape supersedes it.  Empty segments are never stored: "no children"
         is a database-dependent observation, not a property of the shape.
+
+        Returns the stored :class:`CachedSegment` (truthy) when recorded and
+        ``None`` when rejected — callers that go on to memoize replays pass
+        the returned object back to :meth:`replay_record`, which memoizes
+        only while that *identical* segment is still the one recorded.
         """
         if relative_depth <= 0 or not entries or len(entries) > self.max_segment_nodes:
-            return False
+            return None
         with self._lock:
             existing = self._segments.get(shape)
             if existing is not None and (
@@ -286,14 +291,15 @@ class SegmentStore:
                     and len(existing) >= len(entries)
                 )
             ):
-                return False
+                return None
             if existing is not None:
                 self._total_nodes -= len(existing)
                 # memoized replays of the superseded segment are stale
                 stale = self._replays.pop(shape, None)
                 if stale:
                     self._replay_count -= len(stale)
-            self._segments[shape] = CachedSegment(relative_depth, entries)
+            stored = CachedSegment(relative_depth, entries)
+            self._segments[shape] = stored
             self._segments.move_to_end(shape)
             self._aliases.pop(shape, None)  # a direct segment supersedes an alias
             self._total_nodes += len(entries)
@@ -308,7 +314,7 @@ class SegmentStore:
                 if dropped:
                     self._replay_count -= len(dropped)
                 self._evictions += 1
-            return True
+            return stored if self._segments.get(shape) is stored else None
 
     def record_alias(self, alias: tuple, target: tuple) -> None:
         """Serve lookups of *alias* with the segment recorded under *target*.
@@ -357,17 +363,36 @@ class SegmentStore:
             self._replays.move_to_end(resolved)
             return bucket.get(root_label)
 
-    def replay_record(self, key: tuple, root_label, replay: tuple) -> None:
+    def replay_record(
+        self,
+        key: tuple,
+        root_label,
+        replay: tuple,
+        *,
+        segment: Optional[CachedSegment] = None,
+    ) -> None:
         """Memoize a fully placed ground replay (LRU-bounded per key bucket).
 
         Alias keys resolve to their target's bucket, so a replay placed
         through an alias lookup is reusable by direct lookups too (and vice
         versa — the replay depends only on the segment and the root label).
+
+        *segment*, when given, is the :class:`CachedSegment` the replay was
+        derived from, and the memo is stored only while that **identical**
+        object is still the one recorded under *key*.  Without the check, a
+        concurrent engine re-recording a deeper or richer segment between
+        this caller's lookup and its memoization would attach a memo of the
+        *old* (smaller) segment to the new one — replay_lookup then serves
+        an incomplete replay as if it were exact.  Checked under the store
+        lock, so the compare-and-memoize step is atomic.
         """
         with self._lock:
             key = self._resolve_key(key)
-            if key not in self._segments:
+            current = self._segments.get(key)
+            if current is None:
                 return  # the segment was evicted meanwhile; don't resurrect
+            if segment is not None and current is not segment:
+                return  # superseded meanwhile; the memo belongs to the old one
             bucket = self._replays.get(key)
             if bucket is None:
                 bucket = self._replays[key] = {}

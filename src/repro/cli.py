@@ -146,6 +146,18 @@ def build_argument_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "evaluate independent condensation components (and independent "
+            "chase root subtrees) on a pool of N workers; answers, models "
+            "and round counts are bit-identical to the serial default "
+            "(--workers 1), which remains the differential oracle"
+        ),
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="print per-query grounding statistics (mode, ground-rule counts, fallbacks)",
@@ -223,7 +235,9 @@ def _run_updates(args) -> int:
         extra = parse_database(_read(args.database))
         database = database.copy()
         database.update(extra)
-    engine = MaterializedEngine(program, database, backend=args.backend)
+    engine = MaterializedEngine(
+        program, database, backend=args.backend, workers=args.workers
+    )
     exit_code = 0
 
     def check(context: str) -> None:
@@ -334,6 +348,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             saturation=args.saturation,
             incremental=args.incremental,
             backend=args.backend,
+            workers=args.workers,
         )
         model = engine.model() if needs_model else None
     except ReproError as error:

@@ -97,22 +97,27 @@ def _shared_entry(
 ) -> tuple[WellFoundedEngine, Optional[threading.RLock]]:
     """The cached engine plus its serialisation lock (``None`` when uncached)."""
     global _cache_hits, _cache_misses
-    key = _cache_key(program, database, engine_options)
+    with _cache_lock:
+        # The key embeds Database.version; reading it under the cache lock
+        # makes the version, the is_stale() recheck and the eviction one
+        # atomic step — a concurrent mutation can no longer interleave
+        # between the version read and the hit decision.
+        key = _cache_key(program, database, engine_options)
+        if key is not None:
+            entry = _engine_cache.get(key)
+            if entry is not None:
+                if entry[2].is_stale():
+                    # Defence in depth: the versioned key should already have
+                    # missed, but a caller that mutated the engine's *own*
+                    # database copy (text programs hold one) can still land
+                    # here — never serve answers from a stale engine.
+                    del _engine_cache[key]
+                else:
+                    _engine_cache.move_to_end(key)
+                    _cache_hits += 1
+                    return entry[2], entry[3]
     if key is None:
         return WellFoundedEngine(program, database, **engine_options), None
-    with _cache_lock:
-        entry = _engine_cache.get(key)
-        if entry is not None:
-            if entry[2].is_stale():
-                # Defence in depth: the versioned key should already have
-                # missed, but a caller that mutated the engine's *own*
-                # database copy (text programs hold one) can still land
-                # here — never serve answers from a stale engine.
-                del _engine_cache[key]
-            else:
-                _engine_cache.move_to_end(key)
-                _cache_hits += 1
-                return entry[2], entry[3]
     engine = WellFoundedEngine(program, database, **engine_options)
     lock = threading.RLock()
     with _cache_lock:
@@ -140,6 +145,39 @@ def _shared_entry(
         while len(_engine_cache) > ENGINE_CACHE_SIZE:
             _engine_cache.popitem(last=False)
     return engine, lock
+
+
+def _drop_cached_engine(engine: WellFoundedEngine) -> None:
+    """Remove the cache entry holding *engine* (identity match), if any."""
+    with _cache_lock:
+        for key, entry in list(_engine_cache.items()):
+            if entry[2] is engine:
+                del _engine_cache[key]
+                break
+
+
+def _call_with_shared_engine(program, database, engine_options: dict, invoke):
+    """Run *invoke(engine)* against the shared engine, never on a stale one.
+
+    :func:`_shared_entry` decides hit-or-miss under the cache lock, but the
+    engine call itself happens later under the *per-engine* lock — a
+    concurrent ``Database`` mutation can land in between, and an engine that
+    was fresh at lookup time would then serve a model of the old database.
+    So the staleness test is repeated under the engine lock: once it passes
+    there, no answer from a knowably stale engine can escape (a mutation
+    arriving mid-call is indistinguishable from one arriving just after the
+    call — the answer is correct for the serialisation point).  On a failed
+    recheck the dead entry is dropped and the lookup retried against the
+    database's current version, which builds or finds a fresh engine.
+    """
+    while True:
+        engine, lock = _shared_entry(program, database, engine_options)
+        if lock is None:
+            return invoke(engine)
+        with lock:
+            if not engine.is_stale():
+                return invoke(engine)
+        _drop_cached_engine(engine)
 
 
 def _supersedes(new_component, old_component) -> bool:
@@ -243,11 +281,12 @@ def holds_under_wfs(
     itself is served from the shared LRU, so repeated calls against the same
     program/database do not rebuild the chase segment.
     """
-    engine, lock = _shared_entry(program, database, engine_options)
-    if lock is None:
-        return engine.holds(query, rewrite=rewrite)
-    with lock:
-        return engine.holds(query, rewrite=rewrite)
+    return _call_with_shared_engine(
+        program,
+        database,
+        engine_options,
+        lambda engine: engine.holds(query, rewrite=rewrite),
+    )
 
 
 def answer_query(
@@ -260,11 +299,14 @@ def answer_query(
     **engine_options,
 ) -> set[tuple[Term, ...]]:
     """All answers to a (non-Boolean) conjunctive query over WFS(D, Σ)."""
-    engine, lock = _shared_entry(program, database, engine_options)
-    if lock is None:
-        return engine.answer(query, constants_only=constants_only, rewrite=rewrite)
-    with lock:
-        return engine.answer(query, constants_only=constants_only, rewrite=rewrite)
+    return _call_with_shared_engine(
+        program,
+        database,
+        engine_options,
+        lambda engine: engine.answer(
+            query, constants_only=constants_only, rewrite=rewrite
+        ),
+    )
 
 
 def certain_answers(

@@ -290,11 +290,15 @@ class WellFoundedEngine:
         agenda_order=None,
         incremental: bool = True,
         backend: str = "columnar",
+        workers: int = 1,
+        parallel_executor: str = "auto",
     ):
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown grounding backend {backend!r}; expected one of {BACKENDS}"
             )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         if isinstance(program, str):
             program, parsed_facts = parse_program(program)
         else:
@@ -332,6 +336,10 @@ class WellFoundedEngine:
         self.agenda_order = agenda_order
         self.incremental = incremental
         self.backend = backend
+        #: worker-pool width for the condensation-DAG and chase-forest
+        #: schedulers (:mod:`repro.lp.parallel`); ``1`` = the serial oracle
+        self.workers = workers
+        self.parallel_executor = parallel_executor
         self._require_guarded = require_guarded
         self._skolem_args = skolem_args
         #: statistics of the most recent ``holds``/``answer`` call (see
@@ -355,6 +363,7 @@ class WellFoundedEngine:
             segment_cache=segment_cache,
             saturation=saturation,
             agenda_order=agenda_order,
+            workers=workers,
         )
         self._model: Optional[DatalogWellFoundedModel] = None
         # The ground program induced by the chase segment, grown incrementally
@@ -498,6 +507,7 @@ class WellFoundedEngine:
                 "nodes_spliced": self._chase.cache_stats["nodes_spliced"],
                 "incremental": self.incremental,
                 "backend": self.backend,
+                "workers": self.workers,
                 "cache_hit": cache_hit,
                 "rounds": model.iterations or 0,
                 "seconds": time.perf_counter() - started,
@@ -540,7 +550,14 @@ class WellFoundedEngine:
                     "seconds": time.perf_counter() - started,
                     **grounding.stats(),
                 }
-                return _RewriteOutcome(well_founded_model(grounding.ground), stats)
+                return _RewriteOutcome(
+                    well_founded_model(
+                        grounding.ground,
+                        workers=self.workers,
+                        executor=self.parallel_executor,
+                    ),
+                    stats,
+                )
             fallback_reason = (
                 f"magic grounding exceeded the atom budget of {self.max_nodes} "
                 "without saturating"
@@ -595,6 +612,8 @@ class WellFoundedEngine:
                 agenda_order=self.agenda_order,
                 incremental=self.incremental,
                 backend=self.backend,
+                workers=self.workers,
+                parallel_executor=self.parallel_executor,
             )
             self._pruned_engines[key] = sub_engine
             while len(self._pruned_engines) > _PRUNED_ENGINE_CACHE_SIZE:
@@ -709,9 +728,14 @@ class WellFoundedEngine:
         oracle.
         """
         if not self.incremental:
-            return well_founded_model(ground)
+            return well_founded_model(
+                ground, workers=self.workers, executor=self.parallel_executor
+            )
         model, self._wfs_state = well_founded_model_incremental(
-            ground, self._wfs_state
+            ground,
+            self._wfs_state,
+            workers=self.workers,
+            executor=self.parallel_executor,
         )
         # Accumulate (never overwrite) value changes so the frontier-type key
         # cache sees every change since it was last consulted, even if the

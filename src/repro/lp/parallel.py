@@ -1,0 +1,528 @@
+"""Parallel evaluation of the condensation DAG (ready-set scheduling).
+
+The SCC-modular evaluator of :mod:`repro.lp.wfs` already computes each
+condensation component as a *pure function* of its external inputs — the
+modularity ("splitting") property of the well-founded semantics.  The
+dependencies-first topological order is therefore exactly a parallel
+schedule: a component may be solved the moment every component it depends on
+is solved, and two components with no path between them may be solved
+concurrently.  This module implements that schedule:
+
+* :func:`run_ready_set` — a generic ready-set scheduler over a DAG.  Nodes
+  whose dependencies are complete are dispatched to a worker pool; the
+  coordinator collects results and releases dependents.  ``workers=1``
+  degrades to the plain serial loop over the given topological order, which
+  stays the differential oracle for every parallel run.
+* :func:`resolve_components_scratch` / :func:`resolve_components_incremental`
+  — the WFS drivers.  Each worker calls the unchanged
+  :func:`repro.lp.wfs._solve_component` against an **immutable snapshot** of
+  its external true/false inputs (built by the coordinator from the already
+  completed dependency results); the caller commits the returned deltas in
+  topological order, so models *and* stats (``rounds``, resolve/reuse
+  counts, changed-atom sets) are bit-identical to the serial evaluation.
+* :class:`ComponentShard` — a picklable slice of a
+  :class:`~repro.lp.fixpoint.RuleIndex` holding exactly one component's
+  rules.  It *borrows* the index's closure implementations unchanged, so the
+  process-pool path can never drift from the in-process one.
+
+Executor selection: ``"thread"`` uses a shared :class:`ThreadPoolExecutor`
+(true parallelism on free-threaded CPython 3.13+, latency overlap under a
+GIL), ``"process"`` ships :class:`ComponentShard` payloads to a shared
+:class:`ProcessPoolExecutor`, and ``"auto"`` picks threads on free-threaded
+builds and processes otherwise.  Pools are process-global and reused across
+calls; they are an implementation detail and never outlive the interpreter.
+"""
+
+from __future__ import annotations
+
+import atexit
+import heapq
+import sys
+import threading
+from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from typing import Callable, Collection, Hashable, Iterable, Mapping, Optional, Sequence
+
+from .fixpoint import IncrementalCondensation, RuleIndex
+
+__all__ = [
+    "ComponentShard",
+    "free_threading_available",
+    "resolve_executor_kind",
+    "run_ready_set",
+    "resolve_components_scratch",
+    "resolve_components_incremental",
+]
+
+
+# ---------------------------------------------------------------------------
+# Executor selection and pooling
+# ---------------------------------------------------------------------------
+
+
+def free_threading_available() -> bool:
+    """``True`` on a free-threaded (PEP 703) build running without the GIL."""
+    probe = getattr(sys, "_is_gil_enabled", None)
+    return probe is not None and not probe()
+
+
+def resolve_executor_kind(executor: str) -> str:
+    """Normalise an executor request to ``"thread"`` or ``"process"``.
+
+    ``"auto"`` picks threads when the interpreter is free-threaded (worker
+    threads then run closures truly in parallel) and processes otherwise —
+    the only way to get CPU parallelism under a GIL.  Explicit ``"thread"``
+    is still useful under a GIL for latency-bound serving workloads (see
+    ``benchmarks/bench_parallel_wfs.py``): independent components' external
+    waits overlap even though their compute serialises.
+    """
+    if executor in ("thread", "process"):
+        return executor
+    if executor != "auto":
+        raise ValueError(f"unknown executor kind: {executor!r}")
+    return "thread" if free_threading_available() else "process"
+
+
+_pools: dict[tuple[str, int], Executor] = {}
+_pools_lock = threading.Lock()
+
+
+def _shutdown_pools() -> None:
+    with _pools_lock:
+        pools = list(_pools.values())
+        _pools.clear()
+    for pool in pools:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(_shutdown_pools)
+
+
+def _get_pool(kind: str, workers: int) -> Executor:
+    """A shared executor for (kind, workers), created lazily and reused.
+
+    Process pools degrade to thread pools when the platform cannot start
+    worker processes (restricted containers without working semaphores) —
+    results are identical either way, only the parallelism regime changes.
+    """
+    key = (kind, workers)
+    with _pools_lock:
+        pool = _pools.get(key)
+        if pool is None:
+            if kind == "process":
+                try:
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                except (OSError, ImportError, NotImplementedError):
+                    pool = ThreadPoolExecutor(max_workers=workers)
+            else:
+                pool = ThreadPoolExecutor(max_workers=workers)
+            _pools[key] = pool
+    return pool
+
+
+# ---------------------------------------------------------------------------
+# The generic ready-set scheduler
+# ---------------------------------------------------------------------------
+
+
+def run_ready_set(
+    order: Sequence[Hashable],
+    deps: Mapping[Hashable, Collection[Hashable]],
+    plan: Callable[[Hashable, Mapping[Hashable, object]], tuple],
+    *,
+    workers: int = 1,
+    executor_kind: str = "thread",
+    finish: Optional[Callable[[Hashable, object], object]] = None,
+) -> dict:
+    """Run a DAG of tasks, dispatching nodes as their dependencies complete.
+
+    ``order`` is a topological order of the nodes (the serial execution
+    order and the tie-break for parallel dispatch); ``deps[n]`` names the
+    nodes that must complete before ``n`` may start (entries outside
+    ``order`` are treated as already complete).  ``plan(node, results)`` is
+    called on the coordinator once all of ``node``'s dependencies are in
+    ``results`` and returns either ``("done", value)`` — the node completes
+    immediately, e.g. an incremental reuse decision — or
+    ``("call", fn, args)`` — ``fn(*args)`` is dispatched to the pool.
+    ``finish(node, raw)``, when given, post-processes a dispatched call's
+    raw return value on the coordinator (building deltas, attaching
+    metadata) before it is published to dependents.
+
+    With ``workers=1`` no pool is touched: nodes run inline in ``order``,
+    which is by construction dependency-compatible — this is exactly the
+    serial loop and the oracle every parallel run is pinned against.  With
+    ``workers>1`` the ready set is kept as a heap on topological position,
+    so dispatch order is deterministic given a completion order.  The first
+    task failure (in topological order) is re-raised after in-flight work
+    drains; no new nodes start once a failure is seen.
+    """
+    results: dict = {}
+
+    if workers <= 1:
+        for node in order:
+            action = plan(node, results)
+            if action[0] == "done":
+                results[node] = action[1]
+            else:
+                raw = action[1](*action[2])
+                results[node] = finish(node, raw) if finish is not None else raw
+        return results
+
+    pos = {node: i for i, node in enumerate(order)}
+    remaining: dict[Hashable, set] = {}
+    dependents: dict[Hashable, list] = {}
+    for node in order:
+        blocking = {d for d in deps.get(node, ()) if d in pos and d != node}
+        remaining[node] = blocking
+        for d in blocking:
+            dependents.setdefault(d, []).append(node)
+
+    ready = [pos[node] for node in order if not remaining[node]]
+    heapq.heapify(ready)
+    inflight: dict = {}
+    errors: dict = {}
+    pool = _get_pool(executor_kind, workers)
+
+    def complete(node, value) -> None:
+        results[node] = value
+        for dep in dependents.get(node, ()):
+            blocking = remaining[dep]
+            blocking.discard(node)
+            if not blocking:
+                heapq.heappush(ready, pos[dep])
+
+    while ready or inflight:
+        while ready and not errors:
+            node = order[heapq.heappop(ready)]
+            action = plan(node, results)
+            if action[0] == "done":
+                complete(node, action[1])
+            else:
+                future = pool.submit(action[1], *action[2])
+                inflight[future] = node
+        if not inflight:
+            break
+        done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+        for future in done:
+            node = inflight.pop(future)
+            try:
+                raw = future.result()
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                errors[node] = exc
+                continue
+            complete(node, finish(node, raw) if finish is not None else raw)
+
+    if errors:
+        raise errors[min(errors, key=pos.get)]
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Picklable component shards (the process-pool payload)
+# ---------------------------------------------------------------------------
+
+
+class ComponentShard:
+    """The rules of one condensation component, detached from its index.
+
+    Exactly the slice of :class:`~repro.lp.fixpoint.RuleIndex` state the
+    component closures read — per-rule head / positive-body / negative-body
+    atom ids, keyed by the *original* rule ids — so the shard can cross a
+    process boundary by pickling a few small dicts.  The closure methods are
+    borrowed from :class:`RuleIndex` itself (unbound), which keeps the
+    process-pool evaluation the same code as the in-process one: there is no
+    second implementation to drift.
+    """
+
+    __slots__ = ("_heads", "_pos", "_neg")
+
+    def __init__(
+        self,
+        heads: dict[int, int],
+        pos: dict[int, tuple[int, ...]],
+        neg: dict[int, tuple[int, ...]],
+    ):
+        self._heads = heads
+        self._pos = pos
+        self._neg = neg
+
+    @classmethod
+    def from_index(cls, index: RuleIndex, rule_ids: Iterable[int]) -> "ComponentShard":
+        heads: dict[int, int] = {}
+        pos: dict[int, tuple[int, ...]] = {}
+        neg: dict[int, tuple[int, ...]] = {}
+        for rule_id in rule_ids:
+            heads[rule_id] = index.head_id(rule_id)
+            pos[rule_id] = index.pos_ids(rule_id)
+            neg[rule_id] = index.neg_ids(rule_id)
+        return cls(heads, pos, neg)
+
+    def pos_ids(self, rule_id: int) -> tuple[int, ...]:
+        return self._pos[rule_id]
+
+    def neg_ids(self, rule_id: int) -> tuple[int, ...]:
+        return self._neg[rule_id]
+
+    # The component-restricted closures only touch _heads/_pos/_neg via
+    # membership tests and per-rule lookups, so the index implementations
+    # work unchanged against the shard's dicts.
+    definite_closure_ids = RuleIndex.definite_closure_ids
+    possible_closure_ids = RuleIndex.possible_closure_ids
+    _drain_closure = RuleIndex._drain_closure
+
+    def __getstate__(self):
+        return (self._heads, self._pos, self._neg)
+
+    def __setstate__(self, state):
+        self._heads, self._pos, self._neg = state
+
+
+def _solve_shard(
+    shard: ComponentShard,
+    component: frozenset[int],
+    rule_ids: tuple[int, ...],
+    ext_true: frozenset[int],
+    ext_false: frozenset[int],
+) -> tuple[set[int], set[int], int]:
+    """Process-pool entry point: solve one component from its shard."""
+    from .wfs import _solve_component
+
+    return _solve_component(shard, set(component), rule_ids, ext_true, ext_false)
+
+
+# ---------------------------------------------------------------------------
+# The WFS drivers
+# ---------------------------------------------------------------------------
+
+
+def _prepare_component(
+    index: RuleIndex, member_ids: Iterable[int]
+) -> tuple[set[int], list[int], set[int]]:
+    """(component, active rule ids, external body atom ids) for one component."""
+    component = set(member_ids)
+    rule_ids = [
+        rule_id
+        for atom_id in component
+        for rule_id in index.active_rule_ids_for_head_id(atom_id)
+    ]
+    externals = {
+        atom_id
+        for rule_id in rule_ids
+        for atom_id in (*index.pos_ids(rule_id), *index.neg_ids(rule_id))
+        if atom_id not in component
+    }
+    return component, rule_ids, externals
+
+
+def _snapshot_externals(
+    externals: Iterable[int],
+    comp_of: Callable[[int], Hashable],
+    results: Mapping[Hashable, object],
+    base_true: Collection[int],
+    base_false: Collection[int],
+) -> tuple[frozenset[int], frozenset[int]]:
+    """The immutable external-input snapshot a worker solves against.
+
+    For an external atom whose component re-solved this round the snapshot
+    reads the *new* (not yet committed) solution from ``results``; for a
+    reused component it reads the base global sets, which still hold the
+    stored values.  Atoms in neither set are undefined — exactly the value
+    the serial loop would observe at this component's turn.
+    """
+    ext_true: set[int] = set()
+    ext_false: set[int] = set()
+    for atom_id in externals:
+        outcome = results.get(comp_of(atom_id))
+        if outcome is not None:
+            if atom_id in outcome[0]:
+                ext_true.add(atom_id)
+            elif atom_id in outcome[1]:
+                ext_false.add(atom_id)
+        else:
+            if atom_id in base_true:
+                ext_true.add(atom_id)
+            elif atom_id in base_false:
+                ext_false.add(atom_id)
+    return frozenset(ext_true), frozenset(ext_false)
+
+
+def _solve_action(
+    index: RuleIndex,
+    component: set[int],
+    rule_ids: Sequence[int],
+    ext_true: frozenset[int],
+    ext_false: frozenset[int],
+    executor_kind: str,
+    component_hook,
+) -> tuple:
+    """The ``("call", fn, args)`` action solving one component on a worker.
+
+    Thread workers share the index and run the hook in-worker (so injected
+    latency genuinely overlaps); process workers receive a picklable
+    :class:`ComponentShard`, with the hook running on the coordinator at
+    dispatch (hooks need not be picklable).
+    """
+    if executor_kind == "process":
+        if component_hook is not None:
+            component_hook(component)
+        shard = ComponentShard.from_index(index, rule_ids)
+        return (
+            "call",
+            _solve_shard,
+            (shard, frozenset(component), tuple(rule_ids), ext_true, ext_false),
+        )
+
+    from .wfs import _solve_component
+
+    def task():
+        if component_hook is not None:
+            component_hook(component)
+        return _solve_component(index, component, rule_ids, ext_true, ext_false)
+
+    return ("call", task, ())
+
+
+def resolve_components_scratch(
+    index: RuleIndex,
+    *,
+    workers: int,
+    executor: str = "auto",
+    component_hook=None,
+) -> tuple[set[int], set[int], int]:
+    """From-scratch parallel WFS over the index's condensation.
+
+    Every component resolves; results commit in topological order, so the
+    returned ``(true_ids, false_ids, rounds)`` triple is bit-identical to
+    the serial loop in :func:`repro.lp.wfs.well_founded_model`.
+    """
+    kind = resolve_executor_kind(executor)
+    components = index.dependency_components_ids()
+    order = list(range(len(components)))
+    comp_of = {
+        atom_id: position
+        for position, member_ids in enumerate(components)
+        for atom_id in member_ids
+    }
+    prepared = {
+        position: _prepare_component(index, components[position]) for position in order
+    }
+    deps = {
+        position: {comp_of[a] for a in prepared[position][2]} for position in order
+    }
+    empty: frozenset[int] = frozenset()
+
+    def plan(position, results):
+        component, rule_ids, externals = prepared[position]
+        ext_true, ext_false = _snapshot_externals(
+            externals, comp_of.__getitem__, results, empty, empty
+        )
+        return _solve_action(
+            index, component, rule_ids, ext_true, ext_false, kind, component_hook
+        )
+
+    results = run_ready_set(
+        order, deps, plan, workers=workers, executor_kind=kind
+    )
+
+    true_ids: set[int] = set()
+    false_ids: set[int] = set()
+    rounds = 0
+    for position in order:
+        local_true, local_false, component_rounds = results[position]
+        true_ids |= local_true
+        false_ids |= local_false
+        rounds += component_rounds
+    return true_ids, false_ids, rounds
+
+
+def resolve_components_incremental(
+    index: RuleIndex,
+    condensation: IncrementalCondensation,
+    true_ids: Collection[int],
+    false_ids: Collection[int],
+    *,
+    stored: Mapping[int, tuple[frozenset[int], frozenset[int]]],
+    stored_inputs: Mapping[int, frozenset[int]],
+    dirty: Collection[int],
+    initial_changed: Collection[int],
+    workers: int,
+    executor: str = "auto",
+    component_hook=None,
+) -> dict[int, Optional[tuple[set[int], set[int], int, frozenset[int]]]]:
+    """One parallel refresh of :class:`repro.lp.wfs.IncrementalWFS`.
+
+    Returns, per component id in the condensation order, either ``None``
+    (the stored solution is reused) or ``(local_true, local_false, rounds,
+    inputs)`` for the caller to commit in topological order.  The
+    resolve-or-reuse decision is made on the coordinator when a component's
+    dependencies complete: a component re-solves iff it is ``dirty``, has no
+    stored solution, or one of its stored external inputs is in
+    ``initial_changed`` (dropped removed-component solutions) or in a
+    resolved dependency's value delta — exactly the serial ripple, which
+    checks the accumulated changed set against the same inputs.
+
+    ``true_ids``/``false_ids`` are the caller's global sets *before* any
+    commit (stored solutions of this round's resolvers still included);
+    they are read-only here.  External snapshots overlay resolved
+    dependencies' fresh local solutions on top of them, reproducing the
+    values the serial loop observes mid-sweep.
+    """
+    kind = resolve_executor_kind(executor)
+    order = list(condensation.order())
+    known = set(order)
+    comp_of = condensation.component_of_atom
+    dirty = set(dirty)
+    initial_changed = frozenset(initial_changed)
+
+    prepared: dict[int, tuple[set[int], list[int], set[int]]] = {}
+    deps: dict[int, set[int]] = {}
+    for cid in order:
+        if stored.get(cid) is not None and cid not in dirty:
+            inputs = stored_inputs.get(cid) or frozenset()
+            deps[cid] = {comp_of(a) for a in inputs} & known
+        else:
+            info = _prepare_component(index, condensation.members(cid))
+            prepared[cid] = info
+            deps[cid] = {comp_of(a) for a in info[2]} & known
+
+    deltas: dict[int, frozenset[int]] = {}
+
+    def plan(cid, results):
+        info = prepared.get(cid)
+        if info is None:
+            # Reuse candidate: decide now — every dependency has delivered
+            # its delta, so the serial changed∩inputs test is final.
+            inputs = stored_inputs.get(cid) or frozenset()
+            resolve = not initial_changed.isdisjoint(inputs)
+            if not resolve:
+                for dep in deps[cid]:
+                    delta = deltas.get(dep)
+                    if delta and not delta.isdisjoint(inputs):
+                        resolve = True
+                        break
+            if not resolve:
+                return ("done", None)
+            info = _prepare_component(index, condensation.members(cid))
+            prepared[cid] = info
+        component, rule_ids, externals = info
+        ext_true, ext_false = _snapshot_externals(
+            externals, comp_of, results, true_ids, false_ids
+        )
+        return _solve_action(
+            index, component, rule_ids, ext_true, ext_false, kind, component_hook
+        )
+
+    def finish(cid, raw):
+        local_true, local_false, component_rounds = raw
+        previous = stored.get(cid)
+        if previous is None:
+            deltas[cid] = frozenset(local_true | local_false)
+        else:
+            deltas[cid] = frozenset(
+                (previous[0] ^ local_true) | (previous[1] ^ local_false)
+            )
+        inputs = frozenset(prepared[cid][2])
+        return (local_true, local_false, component_rounds, inputs)
+
+    return run_ready_set(
+        order, deps, plan, workers=workers, executor_kind=kind, finish=finish
+    )

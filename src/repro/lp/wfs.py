@@ -40,7 +40,7 @@ possible support, which is exactly how the two closures below treat it.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional
+from typing import Collection, Iterable, Iterator, Optional, Sequence
 
 from ..lang.atoms import Atom, Literal
 from .fixpoint import IncrementalCondensation, RuleIndex
@@ -187,18 +187,26 @@ def wp_operator(program: GroundProgram, interpretation: Interpretation) -> Inter
 def _solve_component(
     index: RuleIndex,
     component: set[int],
-    rule_ids: list[int],
-    true_ids: set[int],
-    false_ids: set[int],
+    rule_ids: Sequence[int],
+    true_ids: Collection[int],
+    false_ids: Collection[int],
 ) -> tuple[set[int], set[int], int]:
     """Solve one condensation component, its dependencies already final.
 
     Alternates the definite-consequence and possibly-true closures confined
     to *component* until they stabilise (a single pass when the component has
-    no internal negation), extending the global ``true_ids``/``false_ids``
-    sets in place.  Returns the component's newly derived true and false ids
-    plus the number of alternation rounds.  This is the shared evaluation
-    core of :func:`well_founded_model` and :class:`IncrementalWFS` — one
+    no internal negation).  ``true_ids``/``false_ids`` are **read-only
+    external inputs**: the closures only ever membership-test body atoms, and
+    every body atom is either internal to the component (no value yet — the
+    component is unsolved) or external (its value is final), so the solve
+    snapshots the externals once into private working sets and mutates only
+    those.  Returns the component's newly derived true and false ids plus
+    the number of alternation rounds; committing the deltas into the global
+    sets is the caller's job.  The read-only contract is what lets
+    :mod:`repro.lp.parallel` run independent components concurrently against
+    one shared snapshot — and it is enforced by the regression suite, which
+    passes frozensets here.  This is the shared evaluation core of
+    :func:`well_founded_model` and :class:`IncrementalWFS` — one
     implementation, so the incremental path can never drift from the
     from-scratch one.
     """
@@ -207,28 +215,44 @@ def _solve_component(
         for rule_id in rule_ids
         for atom_id in index.neg_ids(rule_id)
     )
+    work_true: set[int] = set()
+    work_false: set[int] = set()
+    for rule_id in rule_ids:
+        for atom_id in (*index.pos_ids(rule_id), *index.neg_ids(rule_id)):
+            if atom_id in component:
+                continue
+            if atom_id in true_ids:
+                work_true.add(atom_id)
+            elif atom_id in false_ids:
+                work_false.add(atom_id)
     local_true: set[int] = set()
     local_false: set[int] = set()
     rounds = 0
     while True:
         rounds += 1
-        new_true = index.definite_closure_ids(rule_ids, component, true_ids, false_ids)
-        true_ids |= new_true
+        new_true = index.definite_closure_ids(rule_ids, component, work_true, work_false)
+        work_true |= new_true
         local_true |= new_true
-        possible = index.possible_closure_ids(rule_ids, component, true_ids, false_ids)
+        possible = index.possible_closure_ids(rule_ids, component, work_true, work_false)
         new_false = {
             atom_id
             for atom_id in component
-            if atom_id not in possible and atom_id not in false_ids
+            if atom_id not in possible and atom_id not in work_false
         }
-        false_ids |= new_false
+        work_false |= new_false
         local_false |= new_false
         if not internal_negation or (not new_true and not new_false):
             break
     return local_true, local_false, rounds
 
 
-def well_founded_model(program: GroundProgram) -> WellFoundedModel:
+def well_founded_model(
+    program: GroundProgram,
+    *,
+    workers: int = 1,
+    executor: str = "auto",
+    component_hook=None,
+) -> WellFoundedModel:
     """``WFS(P)`` by SCC-modular worklist evaluation.
 
     The atom dependency graph (an edge from each head to each of its body
@@ -242,6 +266,14 @@ def well_founded_model(program: GroundProgram) -> WellFoundedModel:
       they stabilise, which is the ``W_P`` iteration confined to the
       component (lower components are already final).
 
+    With ``workers > 1`` independent components are dispatched to a worker
+    pool by :mod:`repro.lp.parallel`'s ready-set scheduler; results commit in
+    topological order, so the model *and* ``iterations`` are bit-identical
+    to the serial evaluation (``workers=1``, the default and the
+    differential oracle).  ``executor`` selects the pool kind (``"auto"`` /
+    ``"thread"`` / ``"process"``) and ``component_hook`` is a test/bench seam
+    invoked once per solved component.
+
     The whole evaluation runs in the rule index's dense atom-id space and is
     translated back to atoms once at the end.  Agreement with
     :func:`well_founded_model_naive` and
@@ -253,17 +285,31 @@ def well_founded_model(program: GroundProgram) -> WellFoundedModel:
     false_ids: set[int] = set()
     rounds = 0
 
-    for component_ids in index.dependency_components_ids():
-        component = set(component_ids)
-        rule_ids = [
-            rule_id
-            for atom_id in component_ids
-            for rule_id in index.active_rule_ids_for_head_id(atom_id)
-        ]
-        _, _, component_rounds = _solve_component(
-            index, component, rule_ids, true_ids, false_ids
+    if workers > 1:
+        from .parallel import resolve_components_scratch
+
+        true_ids, false_ids, rounds = resolve_components_scratch(
+            index,
+            workers=workers,
+            executor=executor,
+            component_hook=component_hook,
         )
-        rounds += component_rounds
+    else:
+        for component_ids in index.dependency_components_ids():
+            component = set(component_ids)
+            rule_ids = [
+                rule_id
+                for atom_id in component_ids
+                for rule_id in index.active_rule_ids_for_head_id(atom_id)
+            ]
+            if component_hook is not None:
+                component_hook(component)
+            local_true, local_false, component_rounds = _solve_component(
+                index, component, rule_ids, true_ids, false_ids
+            )
+            true_ids |= local_true
+            false_ids |= local_false
+            rounds += component_rounds
 
     interpretation = Interpretation(index.atoms_of(true_ids), index.atoms_of(false_ids))
     return WellFoundedModel(interpretation, universe, iterations=rounds)
@@ -306,9 +352,21 @@ class IncrementalWFS:
     random programs, growth schedules and budget resumes.
     """
 
-    def __init__(self, program: GroundProgram):
+    def __init__(
+        self,
+        program: GroundProgram,
+        *,
+        workers: int = 1,
+        executor: str = "auto",
+        component_hook=None,
+    ):
         self._program = program
         self._condensation = IncrementalCondensation(program.index())
+        #: parallel evaluation knobs (see :mod:`repro.lp.parallel`);
+        #: ``workers=1`` is the serial differential oracle
+        self.workers = max(1, int(workers))
+        self.executor = executor
+        self.component_hook = component_hook
         #: component id -> (true atom ids, false atom ids) of its solution
         self._solutions: dict[int, tuple[frozenset[int], frozenset[int]]] = {}
         #: component id -> external body atom ids its solution depends on
@@ -415,45 +473,94 @@ class IncrementalWFS:
         rounds = 0
         resolved = reused = 0
 
-        for cid in condensation.order():
-            stored = self._solutions.get(cid)
-            resolve = stored is None or cid in dirty
-            if not resolve and changed:
-                inputs = self._inputs.get(cid)
-                resolve = inputs is not None and not changed.isdisjoint(inputs)
-            if not resolve:
-                reused += 1
-                continue
-            resolved += 1
-            component = set(condensation.members(cid))
-            rule_ids = [
-                rule_id
-                for atom_id in component
-                for rule_id in index.active_rule_ids_for_head_id(atom_id)
-            ]
-            if stored is not None:
-                true_ids -= stored[0]
-                false_ids -= stored[1]
-                self._true_atoms -= index.atoms_of(stored[0])
-                self._false_atoms -= index.atoms_of(stored[1])
-            local_true, local_false, component_rounds = _solve_component(
-                index, component, rule_ids, true_ids, false_ids
+        if self.workers > 1:
+            from .parallel import resolve_components_incremental
+
+            outcomes = resolve_components_incremental(
+                index,
+                condensation,
+                true_ids,
+                false_ids,
+                stored=self._solutions,
+                stored_inputs=self._inputs,
+                dirty=dirty,
+                initial_changed=changed,
+                workers=self.workers,
+                executor=self.executor,
+                component_hook=self.component_hook,
             )
-            rounds += component_rounds
-            self._true_atoms |= index.atoms_of(local_true)
-            self._false_atoms |= index.atoms_of(local_false)
-            solution = (frozenset(local_true), frozenset(local_false))
-            if stored is None:
-                changed |= solution[0] | solution[1]
-            else:
-                changed |= (stored[0] ^ solution[0]) | (stored[1] ^ solution[1])
-            self._solutions[cid] = solution
-            self._inputs[cid] = frozenset(
-                atom_id
-                for rule_id in rule_ids
-                for atom_id in (*index.pos_ids(rule_id), *index.neg_ids(rule_id))
-                if atom_id not in component
-            )
+            # Commit in topological order: the bookkeeping below is the
+            # serial loop's, verbatim, so stats and mirrors stay
+            # bit-identical to the ``workers=1`` oracle.
+            for cid in condensation.order():
+                outcome = outcomes[cid]
+                if outcome is None:
+                    reused += 1
+                    continue
+                resolved += 1
+                stored = self._solutions.get(cid)
+                if stored is not None:
+                    true_ids -= stored[0]
+                    false_ids -= stored[1]
+                    self._true_atoms -= index.atoms_of(stored[0])
+                    self._false_atoms -= index.atoms_of(stored[1])
+                local_true, local_false, component_rounds, inputs = outcome
+                true_ids |= local_true
+                false_ids |= local_false
+                rounds += component_rounds
+                self._true_atoms |= index.atoms_of(local_true)
+                self._false_atoms |= index.atoms_of(local_false)
+                solution = (frozenset(local_true), frozenset(local_false))
+                if stored is None:
+                    changed |= solution[0] | solution[1]
+                else:
+                    changed |= (stored[0] ^ solution[0]) | (stored[1] ^ solution[1])
+                self._solutions[cid] = solution
+                self._inputs[cid] = inputs
+        else:
+            for cid in condensation.order():
+                stored = self._solutions.get(cid)
+                resolve = stored is None or cid in dirty
+                if not resolve and changed:
+                    inputs = self._inputs.get(cid)
+                    resolve = inputs is not None and not changed.isdisjoint(inputs)
+                if not resolve:
+                    reused += 1
+                    continue
+                resolved += 1
+                component = set(condensation.members(cid))
+                rule_ids = [
+                    rule_id
+                    for atom_id in component
+                    for rule_id in index.active_rule_ids_for_head_id(atom_id)
+                ]
+                if stored is not None:
+                    true_ids -= stored[0]
+                    false_ids -= stored[1]
+                    self._true_atoms -= index.atoms_of(stored[0])
+                    self._false_atoms -= index.atoms_of(stored[1])
+                if self.component_hook is not None:
+                    self.component_hook(component)
+                local_true, local_false, component_rounds = _solve_component(
+                    index, component, rule_ids, true_ids, false_ids
+                )
+                true_ids |= local_true
+                false_ids |= local_false
+                rounds += component_rounds
+                self._true_atoms |= index.atoms_of(local_true)
+                self._false_atoms |= index.atoms_of(local_false)
+                solution = (frozenset(local_true), frozenset(local_false))
+                if stored is None:
+                    changed |= solution[0] | solution[1]
+                else:
+                    changed |= (stored[0] ^ solution[0]) | (stored[1] ^ solution[1])
+                self._solutions[cid] = solution
+                self._inputs[cid] = frozenset(
+                    atom_id
+                    for rule_id in rule_ids
+                    for atom_id in (*index.pos_ids(rule_id), *index.neg_ids(rule_id))
+                    if atom_id not in component
+                )
 
         self.last_resolved = resolved
         self.last_reused = reused
@@ -469,7 +576,11 @@ class IncrementalWFS:
 
 
 def well_founded_model_incremental(
-    program: GroundProgram, state: Optional[IncrementalWFS] = None
+    program: GroundProgram,
+    state: Optional[IncrementalWFS] = None,
+    *,
+    workers: int = 1,
+    executor: str = "auto",
 ) -> tuple[WellFoundedModel, IncrementalWFS]:
     """``WFS(P)`` of a growing program, reusing the previous call's solutions.
 
@@ -480,9 +591,12 @@ def well_founded_model_incremental(
     components the delta touched are re-solved.  With ``state=None`` (or a
     state bound to a different program) the computation starts cold and is
     equivalent to :func:`well_founded_model`.
+
+    ``workers``/``executor`` apply when a fresh state is created (an existing
+    state keeps the knobs it was built with).
     """
     if state is None or state.program is not program:
-        state = IncrementalWFS(program)
+        state = IncrementalWFS(program, workers=workers, executor=executor)
     return state.model(), state
 
 

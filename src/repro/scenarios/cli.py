@@ -67,6 +67,16 @@ def build_scenarios_parser() -> argparse.ArgumentParser:
             default="columnar",
             help="grounding backend (answers are backend-invariant)",
         )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            metavar="N",
+            help=(
+                "worker pool for independent condensation components; "
+                "answers are identical to the serial default"
+            ),
+        )
         if trace_options:
             sub.add_argument(
                 "--length",
@@ -156,7 +166,9 @@ def _overrides(args) -> dict:
     return overrides
 
 
-def _ms(seconds: float) -> str:
+def _ms(seconds) -> str:
+    if seconds is None:  # a kind with zero samples has no percentiles
+        return "n/a"
     return f"{seconds * 1000:.2f}ms"
 
 
@@ -181,7 +193,11 @@ def _cmd_list(args) -> int:
 def _cmd_run(args) -> int:
     bundle = build_scenario(args.name, **_overrides(args))
     engine = WellFoundedEngine(
-        bundle.program, bundle.database, rewrite=args.rewrite, backend=args.backend
+        bundle.program,
+        bundle.database,
+        rewrite=args.rewrite,
+        backend=args.backend,
+        workers=args.workers,
     )
     for text in bundle.queries:
         from ..lang.parser import parse_query
@@ -206,7 +222,7 @@ def _cmd_run(args) -> int:
 
 def _cmd_record(args) -> int:
     bundle = build_scenario(args.name, **_overrides(args))
-    target = build_target(bundle, backend=args.backend)
+    target = build_target(bundle, backend=args.backend, workers=args.workers)
     recorded, report = record_trace(bundle.trace, target)
     text = format_trace(
         recorded,
@@ -237,7 +253,9 @@ def _cmd_replay(args) -> int:
             raise SystemExit(f"error: cannot read {args.trace}: {error}")
     else:
         events = list(bundle.trace)
-    target = build_target(bundle, engine=args.engine, backend=args.backend)
+    target = build_target(
+        bundle, engine=args.engine, backend=args.backend, workers=args.workers
+    )
     report = replay_trace(
         events, target, check=args.check, honor_think=args.think
     )
@@ -256,7 +274,7 @@ def _cmd_replay(args) -> int:
     _print_latency_line("updates", summary["updates"])
     _print_latency_line("queries", summary["queries"])
     hit_rate = report.query_cache_hit_rate
-    hit_text = f"{hit_rate:.2f}" if hit_rate == hit_rate else "n/a"
+    hit_text = f"{hit_rate:.2f}" if hit_rate is not None else "n/a"
     print(
         f"# checkpoints: {report.checks} differential, {report.expects} expected-"
         f"answer; query cache hit-rate: {hit_text}"

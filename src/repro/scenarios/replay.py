@@ -66,12 +66,24 @@ class ReplayInterrupted(ReproError):
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
-    """The *q*-th percentile (0–100) with linear interpolation; nan when empty."""
+    """The *q*-th percentile (0–100) of *samples* with linear interpolation.
+
+    ``q=0`` is the minimum and ``q=100`` the maximum, exactly (no
+    interpolation artifacts at the edges).  Empty input has no percentiles:
+    it raises :class:`ValueError` rather than returning the old silent
+    ``nan`` (which is unorderable *and* not valid strict JSON — both failure
+    modes surfaced far from the cause).  Callers that aggregate possibly
+    empty kinds render ``None`` instead (:meth:`ReplayReport.latency_summary`).
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
     if not samples:
-        return float("nan")
+        raise ValueError("percentile of an empty sample set is undefined")
     ordered = sorted(samples)
     if len(ordered) == 1:
         return ordered[0]
+    if q == 100.0:
+        return ordered[-1]
     rank = (q / 100.0) * (len(ordered) - 1)
     low = int(rank)
     high = min(low + 1, len(ordered) - 1)
@@ -118,9 +130,14 @@ class ReplayReport:
         return len(self.records)
 
     @property
-    def query_cache_hit_rate(self) -> float:
+    def query_cache_hit_rate(self) -> Optional[float]:
+        """Hit fraction of the frontier query cache; ``None`` before any query.
+
+        ``None`` (JSON ``null``) rather than ``nan``: the rate flows into
+        :meth:`summary`, which must stay strict-JSON serialisable.
+        """
         total = self.query_cache_hits + self.query_cache_misses
-        return self.query_cache_hits / total if total else float("nan")
+        return self.query_cache_hits / total if total else None
 
     def latencies(self, *kinds: str) -> list[float]:
         """Per-event seconds, optionally restricted to the given kinds."""
@@ -131,15 +148,29 @@ class ReplayReport:
         ]
 
     def latency_summary(self, *kinds: str) -> dict:
-        """count/total and p50/p95/p99/max seconds over the given kinds."""
+        """count/total and p50/p95/p99/max seconds over the given kinds.
+
+        A kind with zero samples has no latency distribution: its
+        percentiles and max render as ``None`` (JSON ``null``) so reports
+        stay strict-JSON clean instead of crashing or emitting ``NaN``.
+        """
         samples = self.latencies(*kinds)
+        if not samples:
+            return {
+                "count": 0,
+                "total_seconds": 0.0,
+                "p50_seconds": None,
+                "p95_seconds": None,
+                "p99_seconds": None,
+                "max_seconds": None,
+            }
         return {
             "count": len(samples),
             "total_seconds": sum(samples),
             "p50_seconds": percentile(samples, 50),
             "p95_seconds": percentile(samples, 95),
             "p99_seconds": percentile(samples, 99),
-            "max_seconds": max(samples) if samples else float("nan"),
+            "max_seconds": max(samples),
         }
 
     def summary(self) -> dict:
@@ -182,6 +213,7 @@ class MaterializedTarget:
         backend: str = "columnar",
         max_rounds_per_update: Optional[int] = None,
         max_atoms: Optional[int] = None,
+        workers: int = 1,
     ):
         if isinstance(bundle_or_engine, MaterializedEngine):
             self.engine = bundle_or_engine
@@ -192,6 +224,7 @@ class MaterializedTarget:
                 backend=backend,
                 max_rounds_per_update=max_rounds_per_update,
                 max_atoms=max_atoms,
+                workers=workers,
             )
 
     def insert(self, atom) -> None:
@@ -227,10 +260,13 @@ class RebuildTarget:
 
     name = "rebuild"
 
-    def __init__(self, bundle: ScenarioBundle, *, backend: str = "columnar", **_):
+    def __init__(
+        self, bundle: ScenarioBundle, *, backend: str = "columnar", workers: int = 1, **_
+    ):
         self.program = bundle.program
         self.database = bundle.database.copy()
         self.backend = backend
+        self.workers = workers
         self._engine: Optional[WellFoundedEngine] = None
         self.rebuilds = 0
         self.last_query_stats: Optional[dict] = None
@@ -238,7 +274,7 @@ class RebuildTarget:
     def _current_engine(self) -> WellFoundedEngine:
         if self._engine is None or self._engine.is_stale():
             self._engine = WellFoundedEngine(
-                self.program, self.database, backend=self.backend
+                self.program, self.database, backend=self.backend, workers=self.workers
             )
             self.rebuilds += 1
         return self._engine
@@ -275,6 +311,7 @@ def build_target(
     backend: str = "columnar",
     max_rounds_per_update: Optional[int] = None,
     max_atoms: Optional[int] = None,
+    workers: int = 1,
 ):
     """A replay target by name: ``"materialized"`` (warm) or ``"rebuild"`` (cold)."""
     if engine == "materialized":
@@ -283,9 +320,10 @@ def build_target(
             backend=backend,
             max_rounds_per_update=max_rounds_per_update,
             max_atoms=max_atoms,
+            workers=workers,
         )
     if engine == "rebuild":
-        return RebuildTarget(bundle, backend=backend)
+        return RebuildTarget(bundle, backend=backend, workers=workers)
     raise ValueError(f"unknown replay engine {engine!r} (materialized|rebuild)")
 
 

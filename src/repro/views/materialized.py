@@ -155,14 +155,22 @@ class MaterializedEngine:
         max_atoms: Optional[int] = None,
         skolem_args: str = "universal",
         require_guarded: bool = False,
+        workers: int = 1,
+        parallel_executor: str = "auto",
     ):
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown grounding backend {backend!r}; expected one of {BACKENDS}"
             )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.backend = backend
         self.max_rounds_per_update = max_rounds_per_update
         self.max_atoms = max_atoms
+        #: worker-pool width of the maintained solver's condensation-DAG
+        #: scheduler (:mod:`repro.lp.parallel`); ``1`` = the serial oracle
+        self.workers = workers
+        self.parallel_executor = parallel_executor
 
         rules, program_facts = _coerce_rules(
             program, skolem_args=skolem_args, require_guarded=require_guarded
@@ -178,7 +186,9 @@ class MaterializedEngine:
         self._ground = self._grounder.ground
         #: built eagerly so every later ``ground.add`` keeps it in sync
         self._index = self._ground.index()
-        self._wfs = IncrementalWFS(self._ground)
+        self._wfs = IncrementalWFS(
+            self._ground, workers=workers, executor=parallel_executor
+        )
 
         # -- maintained state -------------------------------------------------
         self._edb: set[Atom] = set()

@@ -198,3 +198,86 @@ class TestCertainAnswers:
             (Atom("isAuthorOf", (Constant("john"), Variable("Y"))),), (Variable("Y"),)
         )
         assert certain_answers(engine.model(), query) == set()
+
+
+class TestSharedEngineThreadSafety:
+    """The satellite bugfix: version read, staleness recheck and eviction are
+    atomic under the cache lock, and a served engine re-verifies freshness
+    under its own lock (drop-and-retry on staleness).  Threads hammering
+    ``holds_under_wfs`` against concurrent ``Database`` mutations must never
+    crash, never observe a torn cache entry, and — once mutations quiesce
+    between phases — always serve the *current* database state.
+    """
+
+    def _workload(self):
+        from repro.lang.program import Database
+
+        program, _ = parse_program("signal(X) -> seen(X).")
+        database = Database([parse_atom("signal(s0)")])
+        return program, database
+
+    def test_phased_mutations_are_never_served_stale(self):
+        import threading
+
+        clear_engine_cache()
+        program, database = self._workload()
+        rounds = 12
+        num_threads = 4
+        barrier = threading.Barrier(num_threads + 1)
+        failures: list[str] = []
+
+        def worker():
+            for expected_round in range(rounds):
+                barrier.wait(timeout=20)  # mutation for this round is done
+                fact = f"seen(r{expected_round})"
+                try:
+                    if not holds_under_wfs(program, database, f"? {fact}"):
+                        failures.append(f"stale answer for {fact}")
+                except Exception as error:  # pragma: no cover - the regression
+                    failures.append(f"{type(error).__name__}: {error}")
+                barrier.wait(timeout=20)  # everyone answered; next mutation may go
+
+        threads = [threading.Thread(target=worker) for _ in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for round_index in range(rounds):
+            database.add(parse_atom(f"signal(r{round_index})"))
+            barrier.wait(timeout=20)
+            barrier.wait(timeout=20)
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not failures, failures
+
+    def test_unphased_hammer_is_crash_free_and_ends_fresh(self):
+        import threading
+
+        clear_engine_cache()
+        program, database = self._workload()
+        stop = threading.Event()
+        errors: list[str] = []
+
+        def worker():
+            while not stop.is_set():
+                try:
+                    # any boolean is fine mid-mutation; crashes are not
+                    holds_under_wfs(program, database, "? seen(s0)")
+                except Exception as error:  # pragma: no cover - the regression
+                    errors.append(f"{type(error).__name__}: {error}")
+                    return
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for i in range(60):
+            database.add(parse_atom(f"signal(h{i})"))
+            if i % 2:
+                database.discard(parse_atom(f"signal(h{i - 1})"))
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors, errors
+        # after the dust settles the served model reflects the final state:
+        # odd-indexed signals survive, even-indexed ones were discarded by
+        # the following odd iteration
+        assert holds_under_wfs(program, database, "? seen(h59)")
+        assert not holds_under_wfs(program, database, "? seen(h58)")

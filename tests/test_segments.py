@@ -496,3 +496,90 @@ class TestColdContextSensitiveKeys:
         assert engine_b.holds("? good(Y)")
         stats = engine_b.segment_cache_stats()
         assert stats["hits"] > 0, stats
+
+
+class TestSharedRegistryConcurrency:
+    """The satellite bugfix: every registry mutation — record, alias drops,
+    replay memoization — runs under the store lock, and ``replay_record``
+    refuses to attach a memo computed from a segment the store has since
+    superseded (the compare-and-memoize identity check).  Two engines
+    hammering one persistent registry concurrently must build forests
+    bit-identical to their uncached references.
+    """
+
+    def test_record_returns_the_stored_segment_for_pinning(self):
+        from repro.chase.segments import canonical_atom_shape
+
+        store = SegmentStore("pin-fp")
+        shape = canonical_atom_shape(Atom("p", ()))
+        stored = store.record(shape, 2, ((0, 0),))
+        assert stored is store.lookup(shape)
+        # a rejected recording returns None, not a stale object
+        assert store.record(shape, 1, ((0, 1),)) is None
+
+    def test_replay_memo_from_superseded_segment_is_dropped(self):
+        from repro.chase.segments import canonical_atom_shape
+
+        store = SegmentStore("memo-fp")
+        shape = canonical_atom_shape(Atom("p", ()))
+        first = store.record(shape, 2, ((0, 0),))
+        second = store.record(shape, 3, ((0, 0), (1, 1)))
+        assert second is not None and second is not first
+        # a memo computed against `first` must not attach to `second`
+        store.replay_record(shape, Atom("p", ()), ((0, 0),), segment=first)
+        assert store.replay_lookup(shape, Atom("p", ())) is None
+        store.replay_record(shape, Atom("p", ()), ((0, 0),), segment=second)
+        assert store.replay_lookup(shape, Atom("p", ())) == ((0, 0),)
+
+    def test_two_engines_share_one_registry_concurrently(self):
+        import threading
+
+        program, _ = parse_program(
+            "alarm(X) -> page(X).\npage(X) -> escalate(X).\nescalate(X) -> archive(X).\n"
+        )
+        skolemized = list(skolemize_program(program))
+
+        def facts(tag: str, count: int) -> list[Atom]:
+            return [Atom("alarm", (Constant(f"{tag}{i}"),)) for i in range(count)]
+
+        def signature(forest):
+            return sorted(
+                (node.depth, node.level, str(node.label), str(node.edge_rule))
+                for node in forest.nodes()
+            )
+
+        reference = {}
+        for tag in ("a", "b"):
+            engine = GuardedChaseEngine(skolemized, facts(tag, 6), segment_cache=None)
+            engine.expand(4)
+            reference[tag] = signature(engine.forest)
+
+        store = SegmentStore("stress-fp")
+        errors: list[str] = []
+        start = threading.Barrier(2, timeout=20)
+
+        def hammer(tag: str) -> None:
+            try:
+                start.wait(timeout=20)
+                for _ in range(8):
+                    engine = GuardedChaseEngine(
+                        skolemized, facts(tag, 6), segment_cache=store
+                    )
+                    engine.expand(4)
+                    observed = signature(engine.forest)
+                    if observed != reference[tag]:
+                        errors.append(f"{tag}: cached forest diverged")
+                        return
+            except Exception as error:  # pragma: no cover - the regression
+                errors.append(f"{tag}: {type(error).__name__}: {error}")
+
+        threads = [threading.Thread(target=hammer, args=(tag,)) for tag in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        # the registry stayed internally consistent and was genuinely shared
+        stats = store.stats()
+        assert stats["hits"] > 0
+        assert len(store) > 0

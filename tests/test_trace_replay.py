@@ -11,6 +11,7 @@ code, and resume losslessly after a budget interruption.
 
 from __future__ import annotations
 
+import json
 import math
 
 import pytest
@@ -20,6 +21,7 @@ from repro.lang.parser import parse_atom, parse_program
 from repro.lang.program import Database
 from repro.scenarios import (
     ReplayInterrupted,
+    ReplayReport,
     ScenarioBundle,
     build_target,
     check_event,
@@ -176,8 +178,39 @@ def test_percentile_interpolates():
     assert percentile(samples, 0) == 1.0
     assert percentile(samples, 100) == 4.0
     assert percentile(samples, 50) == 2.5
-    assert math.isnan(percentile([], 50))
     assert percentile([7.0], 95) == 7.0
+
+
+def test_percentile_edges():
+    # q=0 / q=100 are exactly min/max, including on unsorted input
+    samples = [3.0, 1.0, 4.0, 2.0]
+    assert percentile(samples, 0) == 1.0
+    assert percentile(samples, 100) == 4.0
+    assert percentile([5.0], 0) == 5.0
+    assert percentile([5.0], 100) == 5.0
+
+
+def test_percentile_rejects_empty_and_out_of_range():
+    with pytest.raises(ValueError, match="empty"):
+        percentile([], 50)
+    with pytest.raises(ValueError, match="0, 100"):
+        percentile([1.0], -1)
+    with pytest.raises(ValueError, match="0, 100"):
+        percentile([1.0], 101)
+
+
+def test_latency_summary_renders_none_for_empty_kinds():
+    report = ReplayReport(target="unit")
+    summary = report.latency_summary("insert", "retract")
+    assert summary["count"] == 0
+    assert summary["total_seconds"] == 0.0
+    assert summary["p50_seconds"] is None
+    assert summary["p95_seconds"] is None
+    assert summary["p99_seconds"] is None
+    assert summary["max_seconds"] is None
+    # the aggregate view must stay strict-JSON serialisable (no NaN)
+    text = json.dumps(report.summary(), allow_nan=False)
+    assert '"p50_seconds": null' in text
 
 
 # ---------------------------------------------------------------------------
