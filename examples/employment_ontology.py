@@ -42,6 +42,13 @@ def build_ontology() -> Ontology:
     return ontology
 
 
+def analyze_target():
+    """The translated (program, database) pair for ``repro analyze`` smoke runs."""
+    from repro.dl import translate_ontology
+
+    return translate_ontology(build_ontology())
+
+
 def main() -> None:
     ontology = build_ontology()
     print("TBox:")

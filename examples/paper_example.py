@@ -24,6 +24,11 @@ from repro.lang.atoms import Literal
 from repro.bench.generators import paper_example_program
 
 
+def analyze_target():
+    """The (program, database) pair for ``repro analyze`` smoke runs."""
+    return paper_example_program()
+
+
 def main() -> None:
     program, database = paper_example_program()
     print("Sigma (guarded normal Datalog± program):")

@@ -17,6 +17,15 @@ from repro.dl import OntologyReasoner
 from repro.bench.generators import university_ontology
 
 
+def analyze_target():
+    """The translated (program, database) pair for ``repro analyze`` smoke runs."""
+    from repro.dl import translate_ontology
+
+    ontology = university_ontology(num_departments=3, students_per_department=6,
+                                   advised_fraction=0.5, seed=2026)
+    return translate_ontology(ontology)
+
+
 def main() -> None:
     ontology = university_ontology(num_departments=3, students_per_department=6,
                                    advised_fraction=0.5, seed=2026)

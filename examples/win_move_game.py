@@ -43,6 +43,11 @@ def classify(model, positions):
     return rows
 
 
+def analyze_target():
+    """The hand-made game program for ``repro analyze`` smoke runs."""
+    return HAND_MADE
+
+
 def main() -> None:
     print("Hand-made game (classical LP well-founded semantics):")
     lp_model = well_founded_model(relevant_grounding(parse_normal_program(HAND_MADE)))

@@ -1,0 +1,57 @@
+"""Static program analysis: lint rules, acyclicity hierarchy, engine planning.
+
+The analysis pass runs before (and without) any evaluation.  Point
+:func:`analyze` at any program representation the repo uses and get back an
+:class:`AnalysisReport`: structured diagnostics with stable codes plus the
+machine-readable capability verdicts (termination criterion, stratification,
+guardedness, planner hints) that the engines consume.  See
+``docs/analysis.md`` for the diagnostic code table and the acyclicity
+hierarchy.
+"""
+
+from .diagnostics import CODE_TABLE, AnalysisReport, Diagnostic, Severity, make_report
+from .graph import (
+    DependencyAnalysis,
+    GuardednessProfile,
+    analyze_dependencies,
+    guardedness_profile,
+    negative_cycle_witness,
+)
+from .lint import lint_rules
+from .planner import analyze, plan_engine
+from .termination import (
+    CRITERIA,
+    TerminationVerdict,
+    is_jointly_acyclic,
+    is_super_weakly_acyclic,
+    is_weakly_acyclic,
+    joint_acyclicity_violation,
+    super_weak_acyclicity_violation,
+    termination_verdict,
+    weak_acyclicity_violation,
+)
+
+__all__ = [
+    "CODE_TABLE",
+    "CRITERIA",
+    "AnalysisReport",
+    "Diagnostic",
+    "DependencyAnalysis",
+    "GuardednessProfile",
+    "Severity",
+    "TerminationVerdict",
+    "analyze",
+    "analyze_dependencies",
+    "guardedness_profile",
+    "is_jointly_acyclic",
+    "is_super_weakly_acyclic",
+    "is_weakly_acyclic",
+    "joint_acyclicity_violation",
+    "lint_rules",
+    "make_report",
+    "negative_cycle_witness",
+    "plan_engine",
+    "super_weak_acyclicity_violation",
+    "termination_verdict",
+    "weak_acyclicity_violation",
+]

@@ -1,0 +1,213 @@
+"""The ``repro analyze`` verb: lint-style static analysis from the shell.
+
+Usage::
+
+    python -m repro analyze PROGRAM_FILE [...] [--scenario NAME] [--json] [--strict]
+
+Targets can be
+
+* program files in the textual Datalog± syntax (facts become the database),
+* ``.py`` example files exposing either a top-level ``PROGRAM`` string
+  (extracted via ``ast`` — the file is *not* executed) or an
+  ``analyze_target()`` function returning program text, a program object, or
+  a ``(program, database)`` pair (the module is imported and the hook
+  called, but its ``main()`` is not run), and
+* registered scenarios via ``--scenario NAME`` (repeatable) or
+  ``--all-scenarios``; the scenario's database and query mix feed the
+  reachability lints.
+
+Exit codes are lint-style and aggregate over all targets: ``2`` when any
+report contains an error, ``1`` when any contains a warning and ``--strict``
+is set, ``0`` otherwise.  ``--json`` emits one JSON document with a
+``targets`` object (target name → report) plus the aggregate ``exit_code``,
+suitable for CI artifact upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from typing import Any, Optional, Sequence
+
+from ..exceptions import ReproError
+from ..lang.parser import parse_query
+from .diagnostics import AnalysisReport
+from .planner import analyze
+
+__all__ = ["analyze_main", "build_analyze_parser"]
+
+
+def build_analyze_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``analyze`` verb."""
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description=(
+            "Statically analyze Datalog± programs: lint findings with stable "
+            "codes, the acyclicity-hierarchy termination verdict, "
+            "stratification and guardedness, and the engine plan."
+        ),
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        metavar="PROGRAM",
+        help=(
+            "program files (textual syntax), or .py files exposing a "
+            "top-level PROGRAM string"
+        ),
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="analyze a registered scenario's program (repeatable)",
+    )
+    parser.add_argument(
+        "--all-scenarios",
+        action="store_true",
+        help="analyze every registered scenario",
+    )
+    parser.add_argument(
+        "--query",
+        action="append",
+        default=[],
+        metavar="NBCQ",
+        help="mark a query's predicates as consumed (repeatable; file targets only)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit one JSON document instead of the human-readable reports",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any report contains warnings (errors always exit 2)",
+    )
+    return parser
+
+
+def _program_from_python_file(path: str) -> Optional[str]:
+    """The top-level ``PROGRAM`` string of an example, without running it."""
+    with open(path, "r", encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            targets = [node.target.id]
+        else:
+            continue
+        if "PROGRAM" not in targets or node.value is None:
+            continue
+        if isinstance(node.value, ast.Constant) and isinstance(node.value.value, str):
+            return node.value.value
+    return None
+
+
+def _target_from_python_module(path: str) -> Any:
+    """Import the example and call its ``analyze_target()`` hook.
+
+    Returns whatever the hook returns — program text, a program object, or a
+    ``(program, database)`` pair.  The module's ``main()`` stays behind its
+    ``__main__`` guard, so importing is cheap.
+    """
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location("_repro_analyze_target", path)
+    if spec is None or spec.loader is None:
+        raise ReproError(f"{path}: not importable")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    hook = getattr(module, "analyze_target", None)
+    if hook is None:
+        raise ReproError(
+            f"{path}: no top-level PROGRAM string and no analyze_target() hook"
+        )
+    return hook()
+
+
+def _analyze_file(path: str, queries: Sequence[str]) -> AnalysisReport:
+    source: Any
+    database: list[Any] = []
+    if path.endswith(".py"):
+        source = _program_from_python_file(path)
+        if source is None:
+            target = _target_from_python_module(path)
+            if isinstance(target, tuple):
+                source, database = target[0], list(target[1])
+            else:
+                source = target
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    parsed_queries = [parse_query(text) for text in queries]
+    # Textual facts merge into the database inside analyze(); passing an
+    # explicit (possibly empty) database keeps the reachability lints
+    # enabled even for rule-only files.
+    return analyze(source, database, queries=parsed_queries)
+
+
+def _analyze_scenario(name: str) -> AnalysisReport:
+    from ..scenarios.registry import build_scenario
+
+    bundle = build_scenario(name)
+    queries = [parse_query(text) for text in bundle.queries]
+    return analyze(bundle.program, bundle.database, queries=queries)
+
+
+def analyze_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``repro analyze``; returns the process exit code."""
+    parser = build_analyze_parser()
+    args = parser.parse_args(argv)
+
+    scenario_names = list(args.scenario)
+    if args.all_scenarios:
+        from ..scenarios.registry import scenario_names as registered
+
+        scenario_names.extend(
+            name for name in registered() if name not in scenario_names
+        )
+    if not args.targets and not scenario_names:
+        parser.error("nothing to analyze: give a PROGRAM file or --scenario/--all-scenarios")
+
+    reports: dict[str, AnalysisReport] = {}
+    failures: dict[str, str] = {}
+    for path in args.targets:
+        try:
+            reports[path] = _analyze_file(path, args.query)
+        except (OSError, ReproError) as error:
+            failures[path] = str(error)
+    for name in scenario_names:
+        target = f"scenario:{name}"
+        try:
+            reports[target] = _analyze_scenario(name)
+        except (KeyError, ReproError) as error:
+            failures[target] = str(error)
+
+    exit_code = 0
+    for report in reports.values():
+        exit_code = max(exit_code, report.exit_code(strict=args.strict))
+    if failures:
+        exit_code = 2
+
+    if args.as_json:
+        document = {
+            "targets": {name: report.to_json() for name, report in reports.items()},
+            "failures": failures,
+            "strict": args.strict,
+            "exit_code": exit_code,
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        for name, report in reports.items():
+            print(f"== {name}")
+            print(report.render())
+        for name, message in failures.items():
+            print(f"== {name}", file=sys.stderr)
+            print(f"error: {message}", file=sys.stderr)
+    return exit_code

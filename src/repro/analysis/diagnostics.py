@@ -1,0 +1,260 @@
+"""The diagnostics framework: stable codes, severities, structured reports.
+
+Every finding of the static analyzer is a :class:`Diagnostic` — a stable
+machine-readable code (``E1xx`` errors, ``W2xx`` warnings, ``I3xx``
+informational notes), a :class:`Severity`, a human message and an optional
+span (rule index + rendered rule, predicate).  A whole pass over a program
+yields an :class:`AnalysisReport`: the diagnostics plus the *capability
+verdicts* (termination criterion, stratification, guardedness, planner
+hints) that the engines consume.
+
+The code space is documented in ``docs/analysis.md``; codes are part of the
+public contract (tests and CI pin them), so a code is never renumbered —
+retired codes are simply never reused.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterator, Optional, Sequence
+
+__all__ = ["Severity", "Diagnostic", "AnalysisReport", "CODE_TABLE"]
+
+
+class Severity(str, Enum):
+    """Severity ladder of a diagnostic, orderable via :attr:`rank`."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Numeric rank: higher is more severe."""
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+
+#: The stable diagnostic code space.  ``E`` codes make a program unusable (or
+#: its analysis impossible), ``W`` codes flag likely defects that do not stop
+#: evaluation, ``I`` codes surface structural facts worth knowing.
+CODE_TABLE: dict[str, str] = {
+    "E101": "predicate used with inconsistent arities",
+    "E102": "ill-formed program (parse or safety violation)",
+    "E103": "program rejected by the termination policy",
+    "W201": "predicate name collides with the reserved magic namespace",
+    "W202": "duplicate rule",
+    "W203": "rule subsumed by another rule",
+    "W204": "trivially unsatisfiable body (an atom occurs positively and negated)",
+    "W205": "predicate names differ only by case",
+    "W206": "unguarded NTGD (the guarded chase engine will reject it)",
+    "W207": "no static termination criterion holds (chase may not terminate)",
+    "I301": "body predicate has no derivation source (rule can never fire)",
+    "I302": "derived predicate is never consumed",
+    "I303": "unstratified negation (handled by the WFS; stratified engines reject)",
+    "I304": "existential rule set (Skolem functions in the functional transformation)",
+}
+
+_SEVERITY_BY_PREFIX = {
+    "E": Severity.ERROR,
+    "W": Severity.WARNING,
+    "I": Severity.INFO,
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the analyzer.
+
+    ``code`` is a stable identifier from :data:`CODE_TABLE`; the severity is
+    derived from its prefix and cannot disagree with it.  ``rule_index`` and
+    ``rule`` locate the finding inside the analyzed program (rule order as
+    given), ``predicate`` names the offending predicate when the finding is
+    about one; both spans are optional because some findings are global.
+    """
+
+    code: str
+    message: str
+    rule_index: Optional[int] = None
+    rule: Optional[str] = None
+    predicate: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.code not in CODE_TABLE:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def severity(self) -> Severity:
+        """Severity, derived from the code prefix (``E``/``W``/``I``)."""
+        return _SEVERITY_BY_PREFIX[self.code[0]]
+
+    def span(self) -> str:
+        """The human-readable location of the finding (may be empty)."""
+        parts = []
+        if self.rule_index is not None:
+            parts.append(f"rule {self.rule_index}")
+        if self.predicate is not None:
+            parts.append(f"predicate {self.predicate}")
+        return ", ".join(parts)
+
+    def render(self) -> str:
+        """One-line lint-style rendering: ``CODE severity: message [span]``."""
+        line = f"{self.code} {self.severity.value}: {self.message}"
+        span = self.span()
+        if span:
+            line += f"  [{span}]"
+        return line
+
+    def to_json(self) -> dict[str, Any]:
+        """A JSON-ready dict (stable key set; ``None`` spans omitted)."""
+        payload: dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.rule_index is not None:
+            payload["rule_index"] = self.rule_index
+        if self.rule is not None:
+            payload["rule"] = self.rule
+        if self.predicate is not None:
+            payload["predicate"] = self.predicate
+        return payload
+
+    def sort_key(self) -> tuple[int, str, int, str]:
+        """Deterministic order: severity first, then code, then span."""
+        return (
+            -self.severity.rank,
+            self.code,
+            -1 if self.rule_index is None else self.rule_index,
+            self.predicate or "",
+        )
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """The result of one static-analysis pass.
+
+    ``diagnostics`` are the lint findings in deterministic order;
+    ``verdicts`` are the machine-readable capability verdicts the planner
+    and the engines consume (see :func:`repro.analysis.planner.analyze` for
+    the exact key set); ``summary`` carries cheap program statistics (rule
+    and predicate counts) for rendering.
+    """
+
+    diagnostics: tuple[Diagnostic, ...]
+    verdicts: dict[str, Any] = field(default_factory=dict)
+    summary: dict[str, Any] = field(default_factory=dict)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    # -- selection ----------------------------------------------------------
+
+    def errors(self) -> tuple[Diagnostic, ...]:
+        """The error-severity findings."""
+        return self._with_severity(Severity.ERROR)
+
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        """The warning-severity findings."""
+        return self._with_severity(Severity.WARNING)
+
+    def infos(self) -> tuple[Diagnostic, ...]:
+        """The info-severity findings."""
+        return self._with_severity(Severity.INFO)
+
+    def _with_severity(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is severity)
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        """The findings with the given code."""
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def codes(self) -> frozenset[str]:
+        """The set of codes present in the report."""
+        return frozenset(d.code for d in self.diagnostics)
+
+    def is_clean(self, *, strict: bool = False) -> bool:
+        """``True`` iff the report gates nothing (warnings gate under strict)."""
+        return self.exit_code(strict=strict) == 0
+
+    def exit_code(self, *, strict: bool = False) -> int:
+        """Lint-style exit code: 2 on errors, 1 on warnings under strict, else 0."""
+        if self.errors():
+            return 2
+        if strict and self.warnings():
+            return 1
+        return 0
+
+    # -- rendering ----------------------------------------------------------
+
+    def render(self) -> str:
+        """The human-readable report: findings, verdicts, one-line summary."""
+        lines: list[str] = []
+        for diagnostic in self.diagnostics:
+            lines.append(diagnostic.render())
+        if self.verdicts:
+            lines.append("verdicts:")
+            for key in sorted(self.verdicts):
+                lines.append(f"  {key} = {_render_value(self.verdicts[key])}")
+        counts = (
+            f"{len(self.errors())} error(s), {len(self.warnings())} warning(s), "
+            f"{len(self.infos())} note(s)"
+        )
+        if self.summary:
+            counts += (
+                f" over {self.summary.get('rules', 0)} rule(s), "
+                f"{self.summary.get('predicates', 0)} predicate(s)"
+            )
+        lines.append(counts)
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        """A JSON-ready dict with stable keys (``json.dumps``-safe)."""
+        return {
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+            "verdicts": _jsonable(self.verdicts),
+            "summary": _jsonable(self.summary),
+            "exit_code": self.exit_code(),
+            "exit_code_strict": self.exit_code(strict=True),
+        }
+
+    def to_json_text(self, *, indent: int = 2) -> str:
+        """The report serialised as a JSON document."""
+        return json.dumps(self.to_json(), indent=indent, sort_keys=True)
+
+
+def make_report(
+    diagnostics: Sequence[Diagnostic],
+    verdicts: Optional[dict[str, Any]] = None,
+    summary: Optional[dict[str, Any]] = None,
+) -> AnalysisReport:
+    """An :class:`AnalysisReport` with the findings deterministically ordered."""
+    ordered = tuple(sorted(diagnostics, key=Diagnostic.sort_key))
+    return AnalysisReport(ordered, dict(verdicts or {}), dict(summary or {}))
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, dict):
+        inner = ", ".join(f"{k}={_render_value(v)}" for k, v in sorted(value.items()))
+        return "{" + inner + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_render_value(v) for v in value) + "]"
+    return str(value)
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively coerce report values to JSON-serialisable shapes."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [_jsonable(v) for v in value]
+        if isinstance(value, (set, frozenset)):
+            items.sort(key=str)
+        return items
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

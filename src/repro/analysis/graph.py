@@ -1,0 +1,210 @@
+"""The predicate dependency-graph analyzer.
+
+Structural facts the lint rules and the planner both consume: the positive
+and negative predicate dependency edges (shared with
+:mod:`repro.lp.stratification` — one edge definition, two consumers), the
+strongly connected components of the combined graph, a stratification
+witness (stratum assignment) when one exists, and when none does a *minimal
+negative-cycle explanation*: the shortest predicate cycle through a negative
+edge, so "not stratified" always comes with a concrete loop to stare at.
+Guardedness classification of NTGDs (guarded / linear / unguarded per rule)
+lives here too, since it is the other paper-level structural property the
+planner keys on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
+
+from ..exceptions import NotStratifiedError
+from ..lang.program import DatalogPMProgram, NormalProgram
+from ..lang.rules import NTGD, NormalRule
+from ..lp.stratification import dependency_graph, stratify
+from .termination import _sccs
+
+__all__ = [
+    "DependencyAnalysis",
+    "GuardednessProfile",
+    "analyze_dependencies",
+    "negative_cycle_witness",
+    "guardedness_profile",
+]
+
+Edge = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class DependencyAnalysis:
+    """Everything the analyzer knows about a program's predicate graph.
+
+    ``positive_edges``/``negative_edges`` are ``(head, dependency)`` pairs;
+    ``components`` are the SCCs of the combined graph in dependencies-first
+    order; ``strata`` is a stratification witness (predicate → stratum) when
+    the program is stratified, else ``None`` with ``negative_cycle`` holding
+    the shortest cycle through a negative edge, written as a predicate list
+    whose last element closes back on the first.
+    """
+
+    predicates: frozenset[str]
+    positive_edges: frozenset[Edge]
+    negative_edges: frozenset[Edge]
+    components: tuple[tuple[str, ...], ...]
+    strata: Optional[dict[str, int]]
+    negative_cycle: Optional[tuple[str, ...]]
+
+    @property
+    def stratified(self) -> bool:
+        """``True`` iff a stratification witness was found."""
+        return self.strata is not None
+
+    @property
+    def recursive(self) -> bool:
+        """``True`` iff some SCC has more than one predicate or a self-edge."""
+        edges = self.positive_edges | self.negative_edges
+        for component in self.components:
+            if len(component) > 1:
+                return True
+            node = component[0]
+            if (node, node) in edges:
+                return True
+        return False
+
+
+@dataclass(frozen=True)
+class GuardednessProfile:
+    """Per-rule guardedness classification of an NTGD program.
+
+    ``linear`` counts single-positive-atom bodies (a strict subset of
+    ``guarded``); ``unguarded_rule_indices`` locates the rules outside the
+    paper's guarded fragment, in program order.
+    """
+
+    guarded: int
+    linear: int
+    unguarded: int
+    unguarded_rule_indices: tuple[int, ...]
+
+    @property
+    def all_guarded(self) -> bool:
+        """``True`` iff every rule carries a guard atom."""
+        return self.unguarded == 0
+
+
+def analyze_dependencies(
+    program: Union[NormalProgram, Iterable[NormalRule]],
+) -> DependencyAnalysis:
+    """The full dependency analysis of a normal program (or rule iterable)."""
+    rules = list(program)
+    predicates: set[str] = set()
+    for rule in rules:
+        predicates.update(rule.predicates())
+    positive_edges, negative_edges = dependency_graph(rules)
+    graph: dict[str, set[str]] = {p: set() for p in predicates}
+    for head, dep in positive_edges | negative_edges:
+        graph.setdefault(head, set()).add(dep)
+        graph.setdefault(dep, set())
+    components = tuple(
+        tuple(sorted(component))
+        for component in _sccs(graph)
+    )
+    strata: Optional[dict[str, int]]
+    try:
+        strata = stratify(rules)
+    except NotStratifiedError:
+        strata = None
+    cycle = None
+    if strata is None:
+        cycle = negative_cycle_witness(positive_edges, negative_edges)
+    return DependencyAnalysis(
+        predicates=frozenset(predicates),
+        positive_edges=frozenset(positive_edges),
+        negative_edges=frozenset(negative_edges),
+        components=components,
+        strata=strata,
+        negative_cycle=cycle,
+    )
+
+
+def negative_cycle_witness(
+    positive_edges: Iterable[Edge], negative_edges: Iterable[Edge]
+) -> Optional[tuple[str, ...]]:
+    """The shortest dependency cycle through a negative edge, or ``None``.
+
+    An edge ``(p, q)`` reads "p depends on q", so a cycle witnessing
+    non-stratification is ``p →(not) q → … → p``; the returned tuple starts
+    at the head of the violating negative edge and repeats it at the end to
+    close the loop, e.g. ``("win", "win")`` for ``win :- not win`` or
+    ``("p", "q", "p")`` for mutual negation.  Ties are broken
+    lexicographically so the witness is deterministic.
+    """
+    negative = set(negative_edges)
+    successors: dict[str, set[str]] = {}
+    for head, dep in set(positive_edges) | negative:
+        successors.setdefault(head, set()).add(dep)
+        successors.setdefault(dep, set())
+    component_of = {
+        node: index
+        for index, members in enumerate(_sccs(successors))
+        for node in members
+    }
+    best: Optional[tuple[str, ...]] = None
+    for head, dep in sorted(negative):
+        if component_of.get(head) != component_of.get(dep):
+            continue
+        path = _shortest_path(successors, dep, head, component_of)
+        if path is None:  # pragma: no cover - same SCC guarantees a path
+            continue
+        cycle = (head, *path, head) if path[-1] != head else (head, *path)
+        if best is None or (len(cycle), cycle) < (len(best), best):
+            best = cycle
+    return best
+
+
+def _shortest_path(
+    successors: dict[str, set[str]],
+    start: str,
+    goal: str,
+    component_of: dict[str, int],
+) -> Optional[tuple[str, ...]]:
+    """Shortest path ``start → … → goal`` inside one SCC (BFS, sorted order)."""
+    if start == goal:
+        return (start,)
+    component = component_of[goal]
+    frontier = [(start, (start,))]
+    seen = {start}
+    while frontier:
+        next_frontier: list[tuple[str, tuple[str, ...]]] = []
+        for node, path in frontier:
+            for succ in sorted(successors.get(node, ())):
+                if component_of.get(succ) != component or succ in seen:
+                    continue
+                if succ == goal:
+                    return path + (succ,)
+                seen.add(succ)
+                next_frontier.append((succ, path + (succ,)))
+        frontier = next_frontier
+    return None
+
+
+def guardedness_profile(
+    program: Union[DatalogPMProgram, Iterable[NTGD]],
+) -> GuardednessProfile:
+    """Classify every NTGD of a Datalog± program as guarded/linear/unguarded."""
+    guarded = linear = unguarded = 0
+    unguarded_indices: list[int] = []
+    for index, rule in enumerate(program):
+        if rule.is_linear():
+            linear += 1
+            guarded += 1
+        elif rule.is_guarded():
+            guarded += 1
+        else:
+            unguarded += 1
+            unguarded_indices.append(index)
+    return GuardednessProfile(
+        guarded=guarded,
+        linear=linear,
+        unguarded=unguarded,
+        unguarded_rule_indices=tuple(unguarded_indices),
+    )

@@ -317,6 +317,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .scenarios.cli import scenarios_main
 
         return scenarios_main(effective[1:])
+    if effective and effective[0] == "analyze":
+        from .analysis.cli import analyze_main
+
+        return analyze_main(effective[1:])
 
     parser = build_argument_parser()
     args = parser.parse_args(argv)

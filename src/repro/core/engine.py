@@ -345,6 +345,10 @@ class WellFoundedEngine:
         #: statistics of the most recent ``holds``/``answer`` call (see
         #: :meth:`_query_model`); ``None`` until a query has been answered
         self.last_query_stats: Optional[dict] = None
+        # Static-analysis report over (program, database), computed lazily by
+        # :meth:`analysis` — its verdicts surface in every query's stats and
+        # justify the planner decisions (magic eligibility, run-and-check).
+        self._analysis_report = None
         # Per-query rewriting results and relevance-pruned sub-engines, both
         # keyed so repeated queries (the common workload) pay nothing twice;
         # bounded LRUs because entries pin models / whole sub-engines.
@@ -399,6 +403,36 @@ class WellFoundedEngine:
         recomputing.
         """
         return self.database.version != self._database_version
+
+    def analysis(self):
+        """The static-analysis report of (program, database), computed lazily.
+
+        One :func:`repro.analysis.analyze` pass per engine: lint findings,
+        the dependency/stratification analysis and the acyclicity-hierarchy
+        verdict that justifies the magic/materialization planning.  A compact
+        slice of it is attached to every query's
+        ``last_query_stats["analysis"]``.
+        """
+        if self._analysis_report is None:
+            from ..analysis.planner import analyze
+
+            self._analysis_report = analyze(self.program, self.database)
+        return self._analysis_report
+
+    def _analysis_summary(self) -> dict:
+        """The stats-facing slice of :meth:`analysis` (cheap to copy)."""
+        report = self.analysis()
+        verdicts = report.verdicts
+        return {
+            "termination": verdicts.get("termination_criterion"),
+            "chase_terminates": verdicts.get("chase_terminates"),
+            "stratified": verdicts.get("stratified"),
+            "guarded": verdicts.get("guarded"),
+            "magic_eligible": verdicts.get("plan", {}).get("magic_eligible"),
+            "run_and_check": verdicts.get("plan", {}).get("run_and_check"),
+            "errors": len(report.errors()),
+            "warnings": len(report.warnings()),
+        }
 
     def model(self) -> DatalogWellFoundedModel:
         """The well-founded model WFS(D, Σ) (computed on first use, then cached).
@@ -511,6 +545,7 @@ class WellFoundedEngine:
                 "cache_hit": cache_hit,
                 "rounds": model.iterations or 0,
                 "seconds": time.perf_counter() - started,
+                "analysis": self._analysis_summary(),
             }
             return model
 
@@ -543,6 +578,8 @@ class WellFoundedEngine:
                     "sips": plan.sips,
                     "backend": self.backend,
                     "cache_hit": False,
+                    "termination_criterion": plan.termination_criterion,
+                    "analysis": self._analysis_summary(),
                     "relevant_predicates": len(plan.relevant_predicates()),
                     "adorned_predicates": len(plan.adorned.reachable),
                     "folded_adornments": plan.folded_adornments,
@@ -570,6 +607,10 @@ class WellFoundedEngine:
             "cache_hit": False,
             "rounds": model.iterations or 0,
             "fallback_reason": fallback_reason,
+            # the fallback *is* run-and-check: budgeted iterative deepening
+            # with dynamic convergence detection instead of a static cert
+            "run_and_check": True,
+            "analysis": self._analysis_summary(),
             "relevant_predicates": len(plan.relevant_predicates()),
             "rules_total": len(self.program),
             "rules_relevant": relevant_rules,

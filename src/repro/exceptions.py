@@ -77,3 +77,16 @@ class InconsistentInterpretationError(ReproError):
 
 class TranslationError(ReproError):
     """Raised when a DL-Lite ontology cannot be translated to Datalog±."""
+
+
+class AnalysisError(ReproError):
+    """Raised when static analysis rejects a program before evaluation.
+
+    Carries the analyzer's findings so callers can render or inspect them;
+    ``diagnostics`` is a tuple of :class:`repro.analysis.Diagnostic` (typed
+    loosely here to keep this module import-free).
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)

@@ -13,7 +13,7 @@ amount of convenience API for building atoms.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Any, Iterable, Iterator
 
 from .terms import (
     Constant,
@@ -106,7 +106,7 @@ class Atom:
 
     # -- ordering (used for deterministic output) ---------------------------
 
-    def sort_key(self) -> tuple:
+    def sort_key(self) -> tuple[Any, ...]:
         """A total-order key: predicate name first, then argument order."""
         return (self.predicate, len(self.args), tuple(term_sort_key(a) for a in self.args))
 
@@ -180,7 +180,7 @@ class Literal:
         sign = "+" if self.positive else "-"
         return f"Literal({sign}{self.atom})"
 
-    def sort_key(self) -> tuple:
+    def sort_key(self) -> tuple[Any, ...]:
         """Total-order key: negative literals sort after positive ones."""
         return (0 if self.positive else 1,) + self.atom.sort_key()
 

@@ -242,7 +242,9 @@ class _Parser:
         atom = self.parse_atom()
         return existentials, atom
 
-    def parse_statement(self):
+    def parse_statement(
+        self,
+    ) -> "Atom | tuple[list[Literal], list[Variable], Atom]":
         """statement := (body "->" head | atom) "."
 
         Returns either an :class:`Atom` (for a fact) or a raw rule tuple
@@ -283,7 +285,7 @@ def _looks_like_variable(name: str) -> bool:
     return bool(name) and (name[0].isupper() or name[0] == "_")
 
 
-def _build_ntgd(raw: tuple) -> NTGD:
+def _build_ntgd(raw: "tuple[list[Literal], list[Variable], Atom]") -> NTGD:
     """Turn a raw rule tuple from :meth:`_Parser.parse_statement` into an NTGD."""
     literals, _existentials, head = raw
     body_pos = tuple(l.atom for l in literals if l.positive)
@@ -291,7 +293,9 @@ def _build_ntgd(raw: tuple) -> NTGD:
     return NTGD(body_pos, head, body_neg)
 
 
-def _build_normal_rule(raw: tuple, text: str) -> NormalRule:
+def _build_normal_rule(
+    raw: "tuple[list[Literal], list[Variable], Atom]", text: str
+) -> NormalRule:
     """Turn a raw rule tuple into a normal logic-programming rule."""
     literals, existentials, head = raw
     body_pos = tuple(l.atom for l in literals if l.positive)

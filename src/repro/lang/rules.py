@@ -18,7 +18,7 @@ rule's *guard*.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 from ..exceptions import IllFormedRuleError, NotGuardedError
 from .atoms import Atom, Literal, variables_of_atoms
@@ -144,7 +144,7 @@ class NormalRule:
     def __repr__(self) -> str:
         return f"NormalRule({self})"
 
-    def sort_key(self) -> tuple:
+    def sort_key(self) -> tuple[Any, ...]:
         """Deterministic total-order key (used for reproducible output)."""
         return (
             self.head.sort_key(),
@@ -289,7 +289,7 @@ class NTGD:
     def __repr__(self) -> str:
         return f"NTGD({self})"
 
-    def sort_key(self) -> tuple:
+    def sort_key(self) -> tuple[Any, ...]:
         """Deterministic total-order key."""
         return (
             self.head.sort_key(),

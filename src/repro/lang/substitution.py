@@ -18,7 +18,7 @@ Substitutions are immutable; :meth:`Substitution.bind` returns a new one.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Optional, Sequence
+from typing import Iterable, Iterator, ItemsView, Mapping, Optional, Sequence
 
 from .atoms import Atom, Literal
 from .terms import Constant, FunctionTerm, Term, Variable, is_ground_term
@@ -55,7 +55,7 @@ class Substitution:
     def __iter__(self) -> Iterator[Term]:
         return iter(self.mapping)
 
-    def items(self):
+    def items(self) -> "ItemsView[Term, Term]":
         """Items view of the underlying mapping."""
         return self.mapping.items()
 

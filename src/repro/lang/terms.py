@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence, Union
+from typing import Any, Iterable, Iterator, Sequence, Union
 
 
 __all__ = [
@@ -192,7 +192,7 @@ def term_depth(term: Term) -> int:
     return 0
 
 
-def term_sort_key(term: Term) -> tuple:
+def term_sort_key(term: Term) -> tuple[Any, ...]:
     """Total order key on ground terms.
 
     The paper assumes a lexicographic order on ``Δ ∪ Δ_N`` in which every null

@@ -48,9 +48,8 @@ from typing import Iterable, Optional, Sequence
 from ..lang.atoms import Atom, Literal
 from ..lang.program import NormalProgram
 from ..lang.rules import NormalRule
-from ..lang.terms import Term, Variable, variables_of
+from ..lang.terms import Term
 from ..lp.columnar import make_grounder
-from ..lp.fixpoint import strongly_connected_components
 from ..lp.grounding import GroundProgram
 from .adornment import AdornedProgram, Adornment, adorn
 from .sips import SIPSStrategy, sips_strategy
@@ -115,6 +114,10 @@ class MagicPlan:
     )
     #: reachable adornments folded into a strictly more general representative
     folded_adornments: int = 0
+    #: the strongest acyclicity criterion certifying the restricted grounding
+    #: terminates ("function-free", "weak", "joint", "super-weak"); ``None``
+    #: when the plan is unsupported
+    termination_criterion: Optional[str] = None
 
     def relevant_predicates(self) -> frozenset[str]:
         """Predicates reachable from the query (valid even when unsupported)."""
@@ -148,68 +151,51 @@ class MagicPlan:
 def _weak_acyclicity_violation(rules: Sequence[NormalRule]) -> Optional[str]:
     """A reason the fragment is not weakly acyclic, or ``None`` if it is.
 
-    The standard position graph of Fagin et al.: nodes are ``(predicate,
-    argument position)``; a variable flowing from a positive body position
-    into a head position contributes a *regular* edge when it appears there
-    directly, and a *special* edge when it appears nested inside a function
-    (Skolem) term — the positions where fresh terms are created.  A cycle
-    through a special edge means the chase (and hence the magic-restricted
-    grounding fixpoint) can build ever-deeper terms; weak acyclicity bounds
-    term depth and guarantees saturation.
+    Compatibility shim: the position-graph test used to live here and now has
+    a single source of truth in :func:`repro.analysis.termination.
+    weak_acyclicity_violation`; this name is kept so existing imports keep
+    working.  Imported lazily because :mod:`repro.analysis.lint` imports this
+    module for :data:`MAGIC_PREFIX`.
     """
-    edges: dict[tuple, set[tuple]] = {}
-    special: list[tuple[tuple, tuple, NormalRule]] = []
-    for rule in rules:
-        var_positions: dict[Variable, set[tuple]] = {}
-        for atom in rule.body_pos:
-            for position, arg in enumerate(atom.args):
-                for variable in variables_of(arg):
-                    var_positions.setdefault(variable, set()).add(
-                        (atom.predicate, position)
-                    )
-        for position, arg in enumerate(rule.head.args):
-            target = (rule.head.predicate, position)
-            edges.setdefault(target, set())
-            nested = not isinstance(arg, Variable)
-            for variable in variables_of(arg):
-                for source in var_positions.get(variable, ()):
-                    edges.setdefault(source, set()).add(target)
-                    if nested:
-                        special.append((source, target, rule))
-    component = {
-        node: index
-        for index, members in enumerate(strongly_connected_components(edges))
-        for node in members
-    }
-    for source, target, rule in special:
-        if component.get(source) == component.get(target):
-            return (
-                "existential recursion in the query-relevant fragment "
-                f"(rule {rule} makes the position graph cyclic through a Skolem "
-                f"position {target[0]}[{target[1]}]; not weakly acyclic)"
-            )
-    return None
+    from ..analysis.termination import weak_acyclicity_violation
+
+    return weak_acyclicity_violation(rules)
 
 
 def _unsupported_reason(
     rules: Sequence[NormalRule], relevant: frozenset[str]
-) -> Optional[str]:
-    """Why the query-relevant fragment cannot be rewritten, or ``None``.
+) -> "tuple[Optional[str], Optional[str]]":
+    """``(reason, criterion)`` for the query-relevant fragment.
 
     The magic-restricted grounding must reach a fixpoint.  Magic and gated
     rules never create terms (they only project and copy existing ones), so
-    termination is governed by the original query-relevant rules: weak
-    acyclicity of their position graph bounds the Skolem-term depth and with
-    it the fixpoint.  Fragments outside that criterion — and programs whose
-    predicates collide with the reserved magic namespace — are rejected and
-    answered by the fallback path instead.
+    termination is governed by the original query-relevant rules — judged by
+    the full acyclicity hierarchy of :mod:`repro.analysis.termination` (weak
+    ⊂ joint ⊂ super-weak), not weak acyclicity alone: any member of the
+    hierarchy bounds the Skolem-chase and with it the restricted grounding.
+    Returns ``(None, criterion)`` with the strongest passing criterion when
+    the fragment is supported, and ``(reason, None)`` when it is not — which
+    also covers programs whose predicates collide with the reserved magic
+    namespace; those pairs are answered by the fallback path instead.
     """
+    from ..analysis.termination import termination_verdict
+
     for rule in rules:
         predicate = rule.head.predicate
         if predicate in relevant and is_magic_predicate(predicate):
-            return f"program predicate {predicate!r} collides with the magic namespace"
+            return (
+                f"program predicate {predicate!r} collides with the magic namespace",
+                None,
+            )
     relevant_rules = [r for r in rules if r.head.predicate in relevant]
-    return _weak_acyclicity_violation(relevant_rules)
+    verdict = termination_verdict(relevant_rules)
+    if verdict.terminating:
+        return None, verdict.criterion
+    return (
+        "query-relevant fragment has no static termination criterion "
+        f"({verdict.reason})",
+        None,
+    )
 
 
 def _fold_adornments(
@@ -272,11 +258,12 @@ def rewrite_for_query(
         supported=True,
     )
 
-    reason = _unsupported_reason(rules, adorned.relevant_predicates())
+    reason, criterion = _unsupported_reason(rules, adorned.relevant_predicates())
     if reason is not None:
         plan.supported = False
         plan.reason = reason
         return plan
+    plan.termination_criterion = criterion
 
     representative = _fold_adornments(adorned)
     plan.representatives = representative

@@ -59,7 +59,9 @@ import itertools
 from time import perf_counter
 from typing import Iterable, Iterator, Optional, Union
 
-from ..exceptions import GroundingError
+from ..analysis.diagnostics import Diagnostic
+from ..analysis.termination import termination_verdict
+from ..exceptions import AnalysisError, GroundingError
 from ..lang.atoms import Atom, Literal
 from ..lang.parser import parse_atom, parse_database, parse_program, parse_query
 from ..lang.program import Database, DatalogPMProgram, NormalProgram
@@ -106,6 +108,33 @@ def _coerce_rules(
     return rules, program_facts
 
 
+def _require_terminating(rules: Iterable[NormalRule]) -> str:
+    """The strongest passing termination criterion, or raise AnalysisError.
+
+    Maintenance replays grounding rounds on every update, so a rule set with
+    no static termination certificate would not "fail fast" — it would fail
+    on the first insertion touching the cycle, after burning its budget.
+    Surfacing the analyzer's verdict at construction time turns that silent
+    loop into a diagnosis; ``check_termination=False`` restores the old
+    behaviour for programs known to saturate on their actual data.
+    """
+    verdict = termination_verdict(rules)
+    if verdict.criterion is not None:
+        return verdict.criterion
+    diagnostic = Diagnostic(
+        "E103",
+        "program has no static termination certificate "
+        f"({verdict.reason}); materialized maintenance could loop until its "
+        "budgets exhaust",
+    )
+    raise AnalysisError(
+        f"{diagnostic.render()}\n"
+        "pass check_termination=False to maintain it anyway under the "
+        "max_rounds_per_update/max_atoms budgets",
+        diagnostics=(diagnostic,),
+    )
+
+
 def _coerce_atoms(atoms: Union[Iterable[Atom], Database, str, Atom]) -> list[Atom]:
     """Normalise a fact collection (or a single fact, or text) to a list."""
     if isinstance(atoms, Atom):
@@ -126,8 +155,14 @@ class MaterializedEngine:
         :class:`~repro.lang.program.DatalogPMProgram` (skolemized on entry),
         or program text (parsed as Datalog± — its facts join the database).
         The supported fragment is the one whose skolemized relevant
-        grounding is finite (function-free or weakly acyclic); programs
-        beyond it exhaust the round/atom budgets, exactly like
+        grounding is finite: the constructor runs the static termination
+        hierarchy of :mod:`repro.analysis` (function-free / weakly / jointly
+        / super-weakly acyclic) and raises
+        :class:`~repro.exceptions.AnalysisError` with the analyzer's
+        diagnostics when every criterion fails, instead of looping until the
+        budgets exhaust.  Pass ``check_termination=False`` to opt out for a
+        program known to saturate dynamically; such a program then behaves
+        as before — it exhausts the round/atom budgets, exactly like
         :func:`~repro.lp.grounding.relevant_grounding` does.
     database:
         Initial EDB facts (:class:`~repro.lang.program.Database`, iterable of
@@ -155,6 +190,7 @@ class MaterializedEngine:
         max_atoms: Optional[int] = None,
         skolem_args: str = "universal",
         require_guarded: bool = False,
+        check_termination: bool = True,
         workers: int = 1,
         parallel_executor: str = "auto",
     ):
@@ -176,6 +212,12 @@ class MaterializedEngine:
             program, skolem_args=skolem_args, require_guarded=require_guarded
         )
         self._rules: list[NormalRule] = rules
+        #: the strongest static termination criterion that accepted the rule
+        #: set ("function-free", "weak", "joint", "super-weak"), or ``None``
+        #: when the check was skipped or failed
+        self.termination_criterion: Optional[str] = None
+        if check_termination:
+            self.termination_criterion = _require_terminating(rules)
         initial_facts = list(program_facts)
         if database is not None:
             if isinstance(database, str):

@@ -1,0 +1,152 @@
+"""Property tests for the static-analysis subsystem.
+
+Four invariants, each over random programs:
+
+* **Order invariance** — the analyzer is a function of the rule *set*:
+  permuting the rules changes neither the termination verdict nor the
+  structural verdicts nor the set of diagnostic codes.
+* **Hierarchy containment** — acceptance by a criterion implies acceptance
+  by every wider criterion, on arbitrary rule sets (the pinned examples in
+  ``test_analysis.py`` show the containments are strict; here hypothesis
+  shows they never invert).
+* **Clean programs evaluate** — a program the analyzer passes without
+  errors and with a termination certificate really does saturate and solve
+  under the engines (the analyzer never green-lights a program the engines
+  choke on).
+* **Planning is invisible** — analyzer-driven engine planning (magic
+  rewriting with the widened eligibility test, fallbacks, run-and-check)
+  never changes an answer relative to the forced-classic path.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    CRITERIA,
+    analyze,
+    analyze_dependencies,
+    is_jointly_acyclic,
+    is_super_weakly_acyclic,
+    is_weakly_acyclic,
+    termination_verdict,
+)
+from repro.core.engine import WellFoundedEngine
+from repro.lang.atoms import Atom
+from repro.lang.skolem import skolemize_program
+
+from strategies import guarded_workloads, safe_normal_workloads
+
+COMMON_SETTINGS = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _shuffled(rules, seed):
+    rules = list(rules)
+    random.Random(seed).shuffle(rules)
+    return rules
+
+
+@given(workload=safe_normal_workloads(), seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=80, **COMMON_SETTINGS)
+def test_verdicts_are_rule_order_invariant(workload, seed):
+    program, edb = workload
+    rules = list(program.rules())
+    permuted = _shuffled(rules, seed)
+    base = analyze(rules, edb)
+    other = analyze(permuted, edb)
+    assert base.verdicts["termination_criterion"] == other.verdicts["termination_criterion"]
+    assert base.verdicts["stratified"] == other.verdicts["stratified"]
+    assert base.verdicts["recursive"] == other.verdicts["recursive"]
+    assert base.verdicts["plan"] == other.verdicts["plan"]
+    assert base.codes() == other.codes()
+
+
+@given(workload=guarded_workloads(), seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=60, **COMMON_SETTINGS)
+def test_termination_verdict_is_order_invariant_on_guarded_programs(workload, seed):
+    program, _ = workload
+    rules = list(skolemize_program(program).rules())
+    assert (
+        termination_verdict(rules).criterion
+        == termination_verdict(_shuffled(rules, seed)).criterion
+    )
+
+
+@given(workload=safe_normal_workloads())
+@settings(max_examples=80, **COMMON_SETTINGS)
+def test_hierarchy_containment_never_inverts(workload):
+    program, _ = workload
+    rules = list(program.rules())
+    if is_weakly_acyclic(rules):
+        assert is_jointly_acyclic(rules)
+    if is_jointly_acyclic(rules):
+        assert is_super_weakly_acyclic(rules)
+    verdict = termination_verdict(rules)
+    if verdict.criterion is not None:
+        # accepts_at_least is monotone along the hierarchy
+        index = CRITERIA.index(verdict.criterion)
+        for wider in CRITERIA[index:]:
+            assert verdict.accepts_at_least(wider)
+        for narrower in CRITERIA[:index]:
+            assert not verdict.accepts_at_least(narrower)
+
+
+@given(workload=guarded_workloads())
+@settings(max_examples=40, **COMMON_SETTINGS)
+def test_clean_programs_evaluate(workload):
+    """No errors + a termination certificate ⇒ the engine solves the program."""
+    program, database = workload
+    report = analyze(program, database)
+    assert not report.errors(), report.render()
+    if not report.verdicts["chase_terminates"]:
+        return
+    engine = WellFoundedEngine(program, database, max_nodes=30_000)
+    model = engine.model()
+    assert model.converged
+    # the stats summary agrees with the standalone report
+    engine.holds(Atom("no_such_predicate", ()), rewrite=False)
+    summary = engine.last_query_stats["analysis"]
+    assert summary["termination"] == report.verdicts["termination_criterion"]
+    assert summary["chase_terminates"] is True
+
+
+@given(workload=guarded_workloads(), data=st.data())
+@settings(max_examples=30, **COMMON_SETTINGS)
+def test_planning_never_changes_answers(workload, data):
+    """Magic/fallback planning is answer-invisible next to forced-classic."""
+    program, database = workload
+    report = analyze(program, database)
+    if not report.verdicts["chase_terminates"]:
+        return
+    engine = WellFoundedEngine(program, database, max_nodes=30_000)
+    model = engine.model()
+    universe = sorted(
+        model.true_atoms() | model.false_atoms() | model.undefined_atoms(), key=str
+    )
+    if not universe:
+        return
+    atoms = data.draw(
+        st.lists(st.sampled_from(universe), min_size=1, max_size=4, unique=True)
+    )
+    for atom in atoms:
+        assert engine.holds(atom, rewrite=True) == engine.holds(atom, rewrite=False)
+
+
+@given(workload=safe_normal_workloads(), seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=60, **COMMON_SETTINGS)
+def test_dependency_analysis_is_order_invariant(workload, seed):
+    program, _ = workload
+    rules = list(program.rules())
+    base = analyze_dependencies(rules)
+    other = analyze_dependencies(_shuffled(rules, seed))
+    assert base.predicates == other.predicates
+    assert base.positive_edges == other.positive_edges
+    assert base.negative_edges == other.negative_edges
+    assert base.stratified == other.stratified
+    assert base.negative_cycle == other.negative_cycle
