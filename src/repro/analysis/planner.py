@@ -32,7 +32,12 @@ from ..lang.program import Database, DatalogPMProgram, NormalProgram
 from ..lang.rules import NTGD, NormalRule
 from ..lang.skolem import skolemize_program
 from .diagnostics import AnalysisReport, Diagnostic, make_report
-from .graph import DependencyAnalysis, analyze_dependencies, guardedness_profile
+from .graph import (
+    DependencyAnalysis,
+    GuardednessProfile,
+    analyze_dependencies,
+    guardedness_profile,
+)
 from .lint import lint_rules
 from .termination import TerminationVerdict, termination_verdict
 
@@ -84,9 +89,10 @@ def analyze(
     )
     dependencies = analyze_dependencies(rules)
     verdict = termination_verdict(rules)
-    diagnostics += _structural_diagnostics(ntgds, dependencies, verdict)
+    profile = guardedness_profile(ntgds) if ntgds is not None else None
+    diagnostics += _structural_diagnostics(ntgds, dependencies, verdict, profile)
 
-    verdicts = _verdicts(ntgds, dependencies, verdict)
+    verdicts = _verdicts(dependencies, verdict, profile)
     summary = {
         "rules": len(rules),
         "predicates": len(dependencies.predicates),
@@ -144,6 +150,7 @@ def _structural_diagnostics(
     ntgds: Optional[DatalogPMProgram],
     dependencies: DependencyAnalysis,
     verdict: TerminationVerdict,
+    profile: Optional[GuardednessProfile],
 ) -> list[Diagnostic]:
     """Findings derived from the graph and termination analyses."""
     findings: list[Diagnostic] = []
@@ -157,8 +164,7 @@ def _structural_diagnostics(
                 predicate=dependencies.negative_cycle[0],
             )
         )
-    if ntgds is not None:
-        profile = guardedness_profile(ntgds)
+    if ntgds is not None and profile is not None:
         for index in profile.unguarded_rule_indices:
             rule = ntgds.rules()[index]
             findings.append(
@@ -194,14 +200,13 @@ def _structural_diagnostics(
 
 
 def _verdicts(
-    ntgds: Optional[DatalogPMProgram],
     dependencies: DependencyAnalysis,
     verdict: TerminationVerdict,
+    profile: Optional[GuardednessProfile],
 ) -> dict[str, Any]:
     guarded: Optional[bool] = None
     guardedness: Optional[dict[str, int]] = None
-    if ntgds is not None:
-        profile = guardedness_profile(ntgds)
+    if profile is not None:
         guarded = profile.all_guarded
         guardedness = {
             "guarded": profile.guarded,

@@ -148,34 +148,50 @@ def _direct_head_positions(rule: NormalRule) -> dict[Variable, set[Position]]:
 
 @dataclass(frozen=True)
 class _Generator:
-    """One null-creation site: a variable-carrying function term in a head."""
+    """One null-creation site: a variable-carrying function term in a head.
+
+    A Skolem term repeated at several head positions — the skolemization of an
+    existential variable occurring more than once in the head, as in
+    ``b(X) → p(f(X), f(X))`` — is ONE null occupying all those positions
+    simultaneously, so a site is keyed by the creating *term* and records
+    every head position holding it.  Seeding the Move sets with only one of
+    the positions would miss feeds cycles that need the null at two positions
+    at once (e.g. through a body ``p(U, U)``).
+    """
 
     rule_index: int
     rule: NormalRule
-    position: int  # head argument index holding the creating term
+    term: Term  # the creating (Skolem) term
+    positions: tuple[int, ...]  # every head argument index holding it
 
     @property
-    def target(self) -> Position:
-        return (self.rule.head.predicate, self.position)
+    def targets(self) -> frozenset[Position]:
+        return frozenset((self.rule.head.predicate, i) for i in self.positions)
+
+    @property
+    def places(self) -> frozenset["Place"]:
+        return frozenset((self.rule_index, i) for i in self.positions)
 
     @property
     def feed_variables(self) -> frozenset[Variable]:
-        return frozenset(variables_of(self.rule.head.args[self.position]))
+        return frozenset(variables_of(self.term))
 
     def describe(self) -> str:
-        return (
-            f"rule {self.rule} creates fresh terms at position "
-            f"{self.target[0]}[{self.target[1]}]"
-        )
+        predicate = self.rule.head.predicate
+        spots = ", ".join(f"{predicate}[{i}]" for i in self.positions)
+        return f"rule {self.rule} creates fresh terms at position(s) {spots}"
 
 
 def _generators(rules: Sequence[NormalRule]) -> list[_Generator]:
     """All null-creation sites of the rule set, in deterministic order."""
     found: list[_Generator] = []
     for rule_index, rule in enumerate(rules):
+        by_term: dict[Term, list[int]] = {}
         for position, arg in enumerate(rule.head.args):
             if not isinstance(arg, Variable) and set(variables_of(arg)):
-                found.append(_Generator(rule_index, rule, position))
+                by_term.setdefault(arg, []).append(position)
+        for term, positions in by_term.items():
+            found.append(_Generator(rule_index, rule, term, tuple(positions)))
     return found
 
 
@@ -244,7 +260,7 @@ def is_weakly_acyclic(rules: Iterable[NormalRule]) -> bool:
 
 def _joint_move(generator: _Generator, rules: Sequence[NormalRule]) -> set[Position]:
     """``Move(g)``: the positions a generator's nulls can travel to."""
-    move: set[Position] = {generator.target}
+    move: set[Position] = set(generator.targets)
     changed = True
     while changed:
         changed = False
@@ -382,7 +398,7 @@ def _swa_covered(
 
 def _swa_move(generator: _Generator, rules: Sequence[NormalRule]) -> set[Place]:
     """``Move(g)`` over places: where a null can travel, seen through unification."""
-    move: set[Place] = {(generator.rule_index, generator.position)}
+    move: set[Place] = set(generator.places)
     changed = True
     while changed:
         changed = False

@@ -71,6 +71,13 @@ HIERARCHY_PINS = {
     None: "p(X) -> exists Y p(Y).",
 }
 
+#: The skolemization of an existential variable repeated in the head: ONE null
+#: fills both positions of ``p`` simultaneously, so ``p(U, U)`` matches it and
+#: the chase diverges.  Every criterion must reject this program (regression
+#: pin: the joint/super-weak Move sets used to be seeded with a single head
+#: position, unsoundly accepting it as terminating).
+REPEATED_SKOLEM = "b(X) -> exists Z p(Z, Z). p(U, U) -> b(U)."
+
 
 class TestDiagnostics:
     def test_severity_is_derived_from_the_code_prefix(self):
@@ -245,6 +252,20 @@ class TestTerminationHierarchy:
         assert is_super_weakly_acyclic(super_weak)
         assert not is_super_weakly_acyclic(cyclic)
 
+    def test_repeated_head_skolem_is_rejected_by_every_criterion(self):
+        rules = skolemized(REPEATED_SKOLEM)
+        assert not is_weakly_acyclic(rules)
+        assert not is_jointly_acyclic(rules)
+        assert not is_super_weakly_acyclic(rules)
+        verdict = termination_verdict(rules)
+        assert verdict.criterion is None
+        assert "not super-weakly acyclic" in verdict.reason
+
+    def test_benign_repeated_head_skolem_is_still_accepted(self):
+        # same repeated-existential head, but nothing feeds the null back
+        verdict = termination_verdict(skolemized("s(X) -> exists Z p(Z, Z)."))
+        assert verdict.criterion == "weak"
+
     def test_acceptance_implies_wider_acceptance(self):
         for text in HIERARCHY_PINS.values():
             rules = skolemized(text)
@@ -404,6 +425,12 @@ class TestMagicWidening:
         assert plan.termination_criterion is None
         assert "no static termination criterion" in plan.reason
 
+    def test_magic_rejects_the_repeated_skolem_program(self):
+        rules = skolemized(REPEATED_SKOLEM)
+        plan = rewrite_for_query(rules, [pos(Atom("b", (Constant("c"),)))])
+        assert not plan.supported
+        assert plan.termination_criterion is None
+
 
 class TestMaterializedTermination:
     CYCLIC = "grow(X) -> grow(f(X))."
@@ -420,6 +447,11 @@ class TestMaterializedTermination:
         rules = parse_normal_program(self.CYCLIC)
         engine = MaterializedEngine(rules, (), max_atoms=50, check_termination=False)
         assert engine.termination_criterion is None
+
+    def test_repeated_skolem_program_is_rejected(self):
+        with pytest.raises(AnalysisError) as excinfo:
+            MaterializedEngine(skolemized(REPEATED_SKOLEM), ())
+        assert excinfo.value.diagnostics[0].code == "E103"
 
     def test_terminating_program_records_its_criterion(self):
         engine = MaterializedEngine(
